@@ -1,0 +1,232 @@
+// Command dace trains, fine-tunes, evaluates, and serves the DACE cost
+// estimator on the simulated benchmark.
+//
+// Usage:
+//
+//	dace train    -dbs airline,walmart,financial -queries 200 -model dace.json
+//	dace eval     -model dace.json -db imdb -queries 200
+//	dace finetune -model dace.json -dbs airline,walmart -machine M2 -out dace_m2.json
+//	dace predict  -model dace.json -plan plan.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/metrics"
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "finetune":
+		cmdFinetune(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain} [flags]")
+	os.Exit(2)
+}
+
+// cmdExplain generates a workload query against a benchmark database, plans
+// and "executes" it, and writes the labeled plan JSON — the input format
+// `dace predict` consumes.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	db := fs.String("db", "imdb", "benchmark database")
+	seed := fs.Int64("seed", 1, "query generator seed")
+	machineName := fs.String("machine", "M1", "machine profile")
+	out := fs.String("out", "-", "output path (default stdout)")
+	fs.Parse(args)
+
+	catalog := schema.BenchmarkDB(*db)
+	m := executor.M1()
+	if *machineName == "M2" {
+		m = executor.M2()
+	}
+	samples, err := dataset.Collect(catalog,
+		[]*workload.Query{workload.NewGenerator(catalog, *seed).One("explain")}, m)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(os.Stderr, "-- %s\n", samples[0].Query.SQL())
+	if err := samples[0].Plan.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func collect(dbNames string, queries int, machineName string) []dataset.Sample {
+	m := executor.M1()
+	if machineName == "M2" {
+		m = executor.M2()
+	}
+	var out []dataset.Sample
+	for _, name := range strings.Split(dbNames, ",") {
+		db := schema.BenchmarkDB(strings.TrimSpace(name))
+		samples, err := dataset.ComplexWorkload(db, queries, m)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, samples...)
+	}
+	return out
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dbs := fs.String("dbs", "airline,walmart,financial,credit,employee,seznam", "training databases")
+	queries := fs.Int("queries", 200, "queries per database")
+	epochs := fs.Int("epochs", 16, "training epochs")
+	machineName := fs.String("machine", "M1", "machine profile")
+	model := fs.String("model", "dace.json", "output model path")
+	fs.Parse(args)
+
+	samples := collect(*dbs, *queries, *machineName)
+	cfg := core.DefaultConfig()
+	cfg.Epochs = *epochs
+	m := core.Train(dataset.Plans(samples), cfg)
+	f, err := os.Create(*model)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained DACE on %d plans from %s; saved to %s\n", len(samples), *dbs, *model)
+}
+
+func loadModel(path string, lora bool) *core.Model {
+	cfg := core.DefaultConfig()
+	m := core.NewModel(cfg)
+	if lora {
+		m.EnableLoRA()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Load(f); err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	model := fs.String("model", "dace.json", "model path")
+	db := fs.String("db", "imdb", "evaluation database (unseen is the point)")
+	queries := fs.Int("queries", 200, "evaluation queries")
+	machineName := fs.String("machine", "M1", "machine profile")
+	lora := fs.Bool("lora", false, "model file contains LoRA adapters")
+	fs.Parse(args)
+
+	m := loadModel(*model, *lora)
+	samples := collect(*db, *queries, *machineName)
+	var qs []float64
+	for _, s := range samples {
+		qs = append(qs, metrics.QError(m.Predict(s.Plan), s.Plan.Root.ActualMS))
+	}
+	fmt.Println(metrics.Header(*db))
+	fmt.Println(metrics.Summarize(qs).Row("DACE"))
+}
+
+func cmdFinetune(args []string) {
+	fs := flag.NewFlagSet("finetune", flag.ExitOnError)
+	model := fs.String("model", "dace.json", "pre-trained model path")
+	dbs := fs.String("dbs", "airline,walmart,financial", "fine-tuning databases")
+	queries := fs.Int("queries", 200, "queries per database")
+	machineName := fs.String("machine", "M2", "machine profile to adapt to")
+	epochs := fs.Int("epochs", 16, "fine-tuning epochs")
+	out := fs.String("out", "dace_lora.json", "output model path")
+	fs.Parse(args)
+
+	m := loadModel(*model, false)
+	samples := collect(*dbs, *queries, *machineName)
+	m.FineTuneLoRA(dataset.Plans(samples), 2e-3, *epochs)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fine-tuned on %d %s plans (%d trainable params of %d); saved to %s\n",
+		len(samples), *machineName, m.TrainableParams(), totalParams(m), *out)
+}
+
+func totalParams(m *core.Model) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "dace.json", "model path")
+	planPath := fs.String("plan", "", "plan JSON (as written by plan.WriteJSON); - for stdin")
+	lora := fs.Bool("lora", false, "model file contains LoRA adapters")
+	fs.Parse(args)
+
+	m := loadModel(*model, *lora)
+	in := os.Stdin
+	if *planPath != "" && *planPath != "-" {
+		f, err := os.Open(*planPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := plan.ReadJSON(in)
+	if err != nil {
+		fatal(err)
+	}
+	preds := m.PredictSubPlans(p)
+	nodes := p.DFS()
+	heights := p.Heights()
+	fmt.Printf("predicted root latency: %.3f ms\n", preds[0])
+	for i, n := range nodes {
+		fmt.Printf("%s%-20s est_cost=%.1f est_rows=%.0f → %.3f ms\n",
+			strings.Repeat("  ", heights[i]), n.Type, n.EstCost, n.EstRows, preds[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command daced serves a trained DACE model over HTTP for query
+// performance prediction.
+//
+//	daced -model dace.json -addr :8080
+//	curl -XPOST localhost:8080/predict --data-binary @plan.json
+//	curl -XPOST 'localhost:8080/predict?format=pg' --data-binary @explain.json
+//	curl localhost:8080/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dace/internal/core"
+	"dace/internal/serve"
+)
+
+func main() {
+	modelPath := flag.String("model", "dace.json", "trained model (dace train / dace finetune output)")
+	addr := flag.String("addr", ":8080", "listen address")
+	lora := flag.Bool("lora", false, "model file contains LoRA adapters")
+	flag.Parse()
+
+	m := core.NewModel(core.DefaultConfig())
+	if *lora {
+		m.EnableLoRA()
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatalf("daced: %v", err)
+	}
+	if err := m.Load(f); err != nil {
+		log.Fatalf("daced: %v", err)
+	}
+	f.Close()
+
+	s := serve.New(m)
+	fmt.Printf("daced: serving %s on %s\n", *modelPath, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,73 @@
+// Command datagen materializes the 20-database benchmark: catalogs,
+// workloads, and executed (labeled) plans, written as JSON for offline
+// inspection or for training DACE via cmd/dace.
+//
+// Usage:
+//
+//	datagen -out bench/ -queries 200            # all 20 databases
+//	datagen -out bench/ -db imdb -machine M2    # one database, machine M2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/schema"
+)
+
+func main() {
+	out := flag.String("out", "bench", "output directory")
+	db := flag.String("db", "", "single database name (default: all 20)")
+	queries := flag.Int("queries", 200, "queries per database")
+	machineName := flag.String("machine", "M1", "machine profile: M1 or M2")
+	flag.Parse()
+
+	m := executor.M1()
+	if *machineName == "M2" {
+		m = executor.M2()
+	}
+
+	names := schema.BenchmarkNames()
+	if *db != "" {
+		names = []string{*db}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		catalog := schema.BenchmarkDB(name)
+		samples, err := dataset.ComplexWorkload(catalog, *queries, m)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s.json", name, m.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		type record struct {
+			SQL  string `json:"sql"`
+			Plan any    `json:"plan"`
+		}
+		for _, s := range samples {
+			if err := enc.Encode(record{SQL: s.Query.SQL(), Plan: s.Plan}); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s %4d labeled plans → %s\n", name, len(samples), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Figures 4–12, Tables I–II) on the simulated substrate.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run tab1,fig5 -scale quick
+//	experiments -run fig5 -dbs imdb,tpc_h,walmart
+//
+// Scales: quick (seconds per artifact, noisy), default (minutes, the scale
+// EXPERIMENTS.md reports), big (closer to the paper's workload sizes; slow
+// on one core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dace/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated artifacts: fig4,fig5,tab1,fig6,tab2,fig7,fig8,fig9,fig10,fig11,fig12 or all")
+	scale := flag.String("scale", "default", "experiment scale: quick, default, big")
+	dbs := flag.String("dbs", "", "fig5 only: comma-separated held-out databases (default: all 20)")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "big":
+		cfg = experiments.DefaultConfig()
+		cfg.QueriesPerDB = 400
+		cfg.TrainDBs = 10
+		cfg.W3Train = 2000
+		cfg.W3Synthetic = 1000
+		cfg.W3Scale = 400
+		cfg.Epochs = 14
+		cfg.DACEEpochs = 20
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Out = os.Stdout
+	lab := experiments.NewLab(cfg)
+
+	var fig5DBs []string
+	if *dbs != "" {
+		fig5DBs = strings.Split(*dbs, ",")
+	}
+
+	want := map[string]bool{}
+	for _, a := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(a)] = true
+	}
+	all := want["all"]
+	ran := 0
+	step := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Second))
+		ran++
+	}
+
+	step("fig4", func() { lab.Fig4() })
+	step("fig5", func() { lab.Fig5(fig5DBs) })
+	step("tab1", func() { lab.Table1() })
+	step("fig6", func() { lab.Fig6() })
+	step("tab2", func() { lab.Table2() })
+	step("fig7", func() { lab.Fig7() })
+	step("fig8", func() { lab.Fig8(nil) })
+	step("fig9", func() { lab.Fig9(nil) })
+	step("fig10", func() { lab.Fig10() })
+	step("fig11", func() { lab.Fig11() })
+	step("fig12", func() { lab.Fig12(nil) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nothing to run: unknown artifact in %q\n", *run)
+		os.Exit(2)
+	}
+}

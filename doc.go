@@ -1,0 +1,11 @@
+// Package dace is a pure-Go reproduction of "DACE: A Database-Agnostic
+// Cost Estimator" (Liang et al., ICDE 2024): a lightweight pre-trained
+// transformer that corrects the error distribution of a query optimizer's
+// cost estimates, together with the full simulated substrate (catalogs,
+// planner, executor), six learned baselines, and a harness regenerating
+// every table and figure of the paper's evaluation.
+//
+// The implementation lives under internal/; cmd/ holds the executables and
+// examples/ runnable walkthroughs. See README.md for the map and
+// EXPERIMENTS.md for paper-vs-measured results.
+package dace

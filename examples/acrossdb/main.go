@@ -1,0 +1,73 @@
+// Across-database leave-one-out: the paper's core protocol (Fig. 5) on a
+// subset of the 20-database benchmark. For each held-out database, DACE and
+// the calibrated PostgreSQL cost train on the other databases' workloads and
+// are evaluated cold on the held-out one.
+//
+//	go run ./examples/acrossdb
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/metrics"
+	"dace/internal/schema"
+)
+
+func main() {
+	dbs := []string{"imdb", "baseball", "walmart", "credit", "genome"}
+	workloads := map[string][]dataset.Sample{}
+	for _, name := range dbs {
+		s, err := dataset.ComplexWorkload(schema.BenchmarkDB(name), 150, executor.M1())
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads[name] = s
+	}
+
+	fmt.Println("leave-one-out across-database cost estimation")
+	fmt.Printf("%-12s %14s %18s\n", "held out", "DACE median", "PostgreSQL median")
+	wins := 0
+	for _, held := range dbs {
+		var train []dataset.Sample
+		for _, other := range dbs {
+			if other != held {
+				train = append(train, workloads[other]...)
+			}
+		}
+		cfg := core.DefaultConfig()
+		cfg.Epochs = 12
+		model := core.Train(dataset.Plans(train), cfg)
+
+		a, b := fitLogLinear(train)
+		var dq, pq []float64
+		for _, s := range workloads[held] {
+			dq = append(dq, metrics.QError(model.Predict(s.Plan), s.Plan.Root.ActualMS))
+			pg := math.Exp(a + b*math.Log(s.Plan.Root.EstCost))
+			pq = append(pq, metrics.QError(pg, s.Plan.Root.ActualMS))
+		}
+		dm, pm := metrics.Summarize(dq).Median, metrics.Summarize(pq).Median
+		if dm < pm {
+			wins++
+		}
+		fmt.Printf("%-12s %14.2f %18.2f\n", held, dm, pm)
+	}
+	fmt.Printf("\nDACE beats the calibrated optimizer cost on %d/%d unseen databases\n", wins, len(dbs))
+}
+
+// fitLogLinear is the PostgreSQL baseline: log(ms) = a + b·log(est cost).
+func fitLogLinear(samples []dataset.Sample) (a, b float64) {
+	var sx, sy, sxx, sxy, n float64
+	for _, s := range samples {
+		x := math.Log(s.Plan.Root.EstCost)
+		y := math.Log(s.Plan.Root.ActualMS)
+		sx, sy, sxx, sxy, n = sx+x, sy+y, sxx+x*x, sxy+x*y, n+1
+	}
+	b = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	a = (sy - b*sx) / n
+	return a, b
+}

@@ -1,0 +1,68 @@
+// Quickstart: train a small DACE on three databases and predict the
+// latency of query plans from a database it has never seen.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/metrics"
+	"dace/internal/schema"
+)
+
+func main() {
+	// 1. Collect labeled training data: plan + per-node actual latencies,
+	//    the equivalent of running EXPLAIN ANALYZE over a workload.
+	var train []dataset.Sample
+	for _, name := range []string{"airline", "walmart", "financial"} {
+		samples, err := dataset.ComplexWorkload(schema.BenchmarkDB(name), 150, executor.M1())
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, samples...)
+	}
+
+	// 2. Train DACE. The model sees only (operator type, estimated
+	//    cardinality, estimated cost) per plan node — no schemas, tables, or
+	//    predicates — which is what lets it transfer across databases.
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 12
+	model := core.Train(dataset.Plans(train), cfg)
+	fmt.Printf("trained DACE (%d parameters) on %d plans from 3 databases\n\n",
+		paramCount(model), len(train))
+
+	// 3. Predict on an unseen database.
+	test, err := dataset.ComplexWorkload(schema.BenchmarkDB("baseball"), 100, executor.M1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qerrs []float64
+	for _, s := range test {
+		qerrs = append(qerrs, metrics.QError(model.Predict(s.Plan), s.Plan.Root.ActualMS))
+	}
+	fmt.Println("zero-shot accuracy on unseen database 'baseball':")
+	fmt.Println(metrics.Header("baseball"))
+	fmt.Println(metrics.Summarize(qerrs).Row("DACE"))
+
+	// 4. Per-sub-plan prediction: one forward pass prices every node.
+	s := test[0]
+	preds := model.PredictSubPlans(s.Plan)
+	fmt.Printf("\nexample query: %s\n", s.Query.SQL())
+	for i, n := range s.Plan.DFS() {
+		fmt.Printf("  node %2d %-18s predicted %8.2f ms, actual %8.2f ms\n",
+			i, n.Type, preds[i], n.ActualMS)
+	}
+}
+
+func paramCount(m *core.Model) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Value.Data)
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module dace
+
+go 1.22

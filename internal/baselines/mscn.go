@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dace/internal/dataset"
+	"dace/internal/featurize"
+	"dace/internal/nn"
+	"dace/internal/plan"
+	"dace/internal/workload"
+)
+
+// Bucket sizes of MSCN's hashed vocabularies.
+const (
+	mscnTableBuckets = 24
+	mscnJoinBuckets  = 24
+	mscnColBuckets   = 24
+)
+
+// mscnOps is the operator vocabulary for predicate featurization.
+var mscnOps = []string{"=", "<", ">", "<=", ">="}
+
+// MSCN is the deep-set cardinality/cost model of Kipf et al.: three set
+// encoders (tables, joins, predicates) mean-pooled and concatenated into a
+// final MLP. It reads the *query*, not the plan — pure data
+// characteristics, which is precisely why it cannot transfer across
+// databases or survive data drift.
+type MSCN struct {
+	Env    *Env
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	tableMLP, joinMLP, predMLP *nn.MLP
+	outMLP                     *nn.MLP
+	label                      featurize.Scaler
+	rowsScale                  featurize.Scaler
+
+	// extraIn widens the final MLP's input for an injected embedding
+	// (DACE-MSCN knowledge integration, Eq. 9); see WithEmbedding.
+	extraIn int
+	embed   func(s dataset.Sample) []float64
+}
+
+// NewMSCN builds an untrained MSCN.
+func NewMSCN(env *Env) *MSCN {
+	return &MSCN{Env: env, Hidden: 224, Epochs: 20, LR: 1e-3, Seed: 3}
+}
+
+// WithEmbedding turns this instance into DACE-MSCN: embed's output (of
+// fixed width dim) is concatenated into the final MLP input, giving the
+// within-database model the pre-trained across-database context.
+func (m *MSCN) WithEmbedding(dim int, embed func(s dataset.Sample) []float64) *MSCN {
+	m.extraIn = dim
+	m.embed = embed
+	return m
+}
+
+// Name implements Estimator.
+func (m *MSCN) Name() string {
+	if m.embed != nil {
+		return "DACE-MSCN"
+	}
+	return "MSCN"
+}
+
+func (m *MSCN) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, mlp := range []*nn.MLP{m.tableMLP, m.joinMLP, m.predMLP, m.outMLP} {
+		ps = append(ps, mlp.Params()...)
+	}
+	return ps
+}
+
+// SizeMB implements Estimator.
+func (m *MSCN) SizeMB() float64 {
+	if m.outMLP == nil {
+		m.build()
+	}
+	return nn.SizeMB(m.params())
+}
+
+func (m *MSCN) build() {
+	rng := rand.New(rand.NewSource(m.Seed))
+	h := m.Hidden
+	m.tableMLP = nn.NewMLP("mscn.table", mscnTableBuckets+1, []int{h, h}, rng)
+	m.joinMLP = nn.NewMLP("mscn.join", mscnJoinBuckets, []int{h, h}, rng)
+	m.predMLP = nn.NewMLP("mscn.pred", mscnColBuckets+len(mscnOps)+1, []int{h, h}, rng)
+	m.outMLP = nn.NewMLP("mscn.out", 3*h+m.extraIn, []int{h, h / 2, 1}, rng)
+}
+
+// sets builds the three feature-set matrices for a query. Empty sets get a
+// single zero row (the pooled representation of "nothing").
+func (m *MSCN) sets(q *workload.Query) (tables, joins, preds *nn.Matrix) {
+	tables = nn.NewMatrix(len(q.Tables), mscnTableBuckets+1)
+	for i, t := range q.Tables {
+		tables.Set(i, hashBucket(mscnTableBuckets, q.Database, t), 1)
+		tables.Set(i, mscnTableBuckets, m.rowsScale.Transform(math.Log(math.Max(m.Env.TableRows(q.Database, t), 1))))
+	}
+	nj := len(q.Joins)
+	if nj == 0 {
+		nj = 1
+	}
+	joins = nn.NewMatrix(nj, mscnJoinBuckets)
+	for i, j := range q.Joins {
+		key := fmt.Sprintf("%s.%s=%s.%s", j.ChildTable, j.ChildColumn, j.ParentTable, j.ParentColumn)
+		joins.Set(i, hashBucket(mscnJoinBuckets, q.Database, key), 1)
+	}
+	type tp struct {
+		table string
+		p     plan.Predicate
+	}
+	var flat []tp
+	for t, ps := range q.Filters {
+		for _, p := range ps {
+			flat = append(flat, tp{t, p})
+		}
+	}
+	np := len(flat)
+	if np == 0 {
+		np = 1
+	}
+	preds = nn.NewMatrix(np, mscnColBuckets+len(mscnOps)+1)
+	for i, f := range flat {
+		preds.Set(i, hashBucket(mscnColBuckets, q.Database, f.table, f.p.Column), 1)
+		for oi, op := range mscnOps {
+			if op == f.p.Op {
+				preds.Set(i, mscnColBuckets+oi, 1)
+			}
+		}
+		preds.Set(i, mscnColBuckets+len(mscnOps), normValue(f.p.Value))
+	}
+	return tables, joins, preds
+}
+
+// normValue squashes raw predicate constants to a bounded feature.
+func normValue(v float64) float64 {
+	return math.Tanh(math.Log1p(math.Abs(v)) / 10)
+}
+
+// forward records the deep-set forward pass for one sample.
+func (m *MSCN) forward(t *nn.Tape, s dataset.Sample) *nn.Node {
+	tb, jn, pd := m.sets(s.Query)
+	pool := func(mlp *nn.MLP, x *nn.Matrix) *nn.Node {
+		return t.MeanRows(t.ReLU(mlp.Apply(t, t.Const(x))))
+	}
+	parts := []*nn.Node{pool(m.tableMLP, tb), pool(m.joinMLP, jn), pool(m.predMLP, pd)}
+	if m.embed != nil {
+		e := m.embed(s)
+		parts = append(parts, t.Const(nn.FromSlice(1, len(e), e)))
+	}
+	return m.outMLP.Apply(t, t.ConcatCols(parts...))
+}
+
+// Train implements Estimator.
+func (m *MSCN) Train(samples []dataset.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("mscn: no training samples")
+	}
+	var labels, logRows []float64
+	for _, s := range samples {
+		labels = append(labels, math.Log(math.Max(s.Plan.Root.ActualMS, 1e-6)))
+		for _, tn := range s.Query.Tables {
+			logRows = append(logRows, math.Log(math.Max(m.Env.TableRows(s.Query.Database, tn), 1)))
+		}
+	}
+	m.label = featurize.FitScaler(labels)
+	m.rowsScale = featurize.FitScaler(logRows)
+	m.build()
+	trainLoop(m.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
+		pred := m.forward(t, samples[i])
+		y := m.label.Transform(math.Log(math.Max(samples[i].Plan.Root.ActualMS, 1e-6)))
+		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{y})))))
+	}, m.LR, m.Epochs, 32, int(m.Seed))
+	return nil
+}
+
+// Predict implements Estimator.
+func (m *MSCN) Predict(s dataset.Sample) float64 {
+	t := nn.NewTape()
+	out := m.forward(t, s)
+	return math.Exp(m.label.Inverse(out.Value.At(0, 0)))
+}

@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dace/internal/dataset"
+	"dace/internal/featurize"
+	"dace/internal/nn"
+	"dace/internal/plan"
+)
+
+// qppHidden is the width of the per-unit hidden vector passed from children
+// to parents.
+const qppHidden = 24
+
+// QPPNet is the plan-structured model of Marcus & Papaemmanouil: one neural
+// unit per operator type; a unit consumes the node's features plus its
+// children's hidden vectors and emits [latency, hidden]. Two properties the
+// paper critiques are reproduced deliberately:
+//
+//   - inference is sequential bottom-up (a parent waits for its children),
+//   - training puts *equal* loss on every sub-plan, so deep plans re-learn
+//     their subtrees many times over — the information-redundancy problem
+//     DACE's loss adjuster fixes.
+type QPPNet struct {
+	Env    *Env
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	units [plan.NumNodeTypes]*nn.MLP
+	enc   *featurize.Encoder
+}
+
+// NewQPPNet builds an untrained QPPNet.
+func NewQPPNet(env *Env) *QPPNet {
+	return &QPPNet{Env: env, Epochs: 20, LR: 1e-3, Seed: 4}
+}
+
+// Name implements Estimator.
+func (q *QPPNet) Name() string { return "QPPNet" }
+
+func (q *QPPNet) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, u := range q.units {
+		ps = append(ps, u.Params()...)
+	}
+	return ps
+}
+
+// SizeMB implements Estimator.
+func (q *QPPNet) SizeMB() float64 {
+	if q.units[0] == nil {
+		q.build()
+	}
+	return nn.SizeMB(q.params())
+}
+
+func (q *QPPNet) build() {
+	rng := rand.New(rand.NewSource(q.Seed))
+	in := featurize.FeatureDim + 2*qppHidden // own features + two (padded) child hiddens
+	for i := range q.units {
+		q.units[i] = nn.NewMLP(fmt.Sprintf("qppnet.unit.%d", i), in, []int{112, 112, 112, 112, 1 + qppHidden}, rng)
+	}
+}
+
+// forward walks the tree bottom-up, returning the per-node latency
+// predictions (n×1 in DFS order) for loss computation.
+func (q *QPPNet) forward(t *nn.Tape, enc *featurize.Encoded, p *plan.Plan) *nn.Node {
+	nodes := p.DFS()
+	index := map[*plan.Node]int{}
+	for i, n := range nodes {
+		index[n] = i
+	}
+	preds := make([]*nn.Node, len(nodes))
+	var walk func(n *plan.Node) *nn.Node // returns hidden (1×qppHidden)
+	walk = func(n *plan.Node) *nn.Node {
+		children := make([]*nn.Node, 0, 2)
+		for _, c := range n.Children {
+			children = append(children, walk(c))
+		}
+		// Pad to exactly two child slots.
+		for len(children) < 2 {
+			children = append(children, t.Const(nn.NewMatrix(1, qppHidden)))
+		}
+		i := index[n]
+		feat := t.Const(rowOf(enc.X, i))
+		out := q.units[n.Type].Apply(t, t.ConcatCols(feat, children[0], children[1]))
+		preds[i] = out // 1×(1+H); column 0 is the latency, the rest the hidden
+		return sliceCols(t, out, 1, 1+qppHidden)
+	}
+	walk(p.Root)
+	// Assemble an n×1 latency vector in DFS order.
+	lats := make([]*nn.Node, len(nodes))
+	for i := range preds {
+		lats[i] = sliceCols(t, preds[i], 0, 1)
+	}
+	return t.ConcatRows(lats...)
+}
+
+// rowOf copies row i of m into a fresh 1×cols matrix.
+func rowOf(m *nn.Matrix, i int) *nn.Matrix {
+	out := nn.NewMatrix(1, m.Cols)
+	copy(out.Data, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// sliceCols selects columns [lo, hi) of a node via a constant selection
+// matrix (differentiable through MatMul).
+func sliceCols(t *nn.Tape, a *nn.Node, lo, hi int) *nn.Node {
+	sel := nn.NewMatrix(a.Value.Cols, hi-lo)
+	for j := lo; j < hi; j++ {
+		sel.Set(j, j-lo, 1)
+	}
+	return t.MatMul(a, t.Const(sel))
+}
+
+// Train implements Estimator: equal-weight loss on every sub-plan.
+func (q *QPPNet) Train(samples []dataset.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("qppnet: no training samples")
+	}
+	q.enc = featurize.FitEncoder(dataset.Plans(samples), 1 /* α=1: uniform weights */)
+	q.build()
+	encoded := make([]*featurize.Encoded, len(samples))
+	for i, s := range samples {
+		encoded[i] = q.enc.Encode(s.Plan)
+	}
+	trainLoop(q.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
+		pred := q.forward(t, encoded[i], samples[i].Plan)
+		diff := t.Abs(t.Sub(pred, t.Const(encoded[i].Y)))
+		return t.Mean(diff)
+	}, q.LR, q.Epochs, 16, int(q.Seed))
+	return nil
+}
+
+// Predict implements Estimator: the root's latency after the (sequential)
+// bottom-up pass.
+func (q *QPPNet) Predict(s dataset.Sample) float64 {
+	t := nn.NewTape()
+	enc := q.enc.Encode(s.Plan)
+	pred := q.forward(t, enc, s.Plan)
+	return math.Exp(q.enc.Label.Inverse(pred.Value.At(0, 0)))
+}

@@ -1,0 +1,244 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dace/internal/dataset"
+	"dace/internal/featurize"
+	"dace/internal/nn"
+	"dace/internal/plan"
+)
+
+const (
+	qfModel     = 112 // d_model
+	qfFF        = 448
+	qfLayers    = 6
+	qfMaxHeight = 24 // height-embedding vocabulary
+	qfMaxDist   = 12 // tree-distance bias buckets (last bucket catches the rest)
+)
+
+// qfLayer is one transformer encoder layer: masked tree-bias attention with
+// residual + LayerNorm, then a feed-forward block with residual + LayerNorm.
+type qfLayer struct {
+	att                  *nn.Attention
+	proj                 *nn.Dense // attention output projection
+	ff1, ff2             *nn.Dense
+	g1, b1, g2, b2       *nn.Param // layer-norm gains/biases
+	bias                 []*nn.Param // learnable b_d per distance bucket
+}
+
+// QueryFormer is the tree transformer of Zhao et al.: per-node features
+// plus a learned height embedding, several encoder layers whose attention
+// is masked to ancestor/descendant pairs and biased by a learnable scalar
+// per tree distance, and a "super node" attached above the root whose final
+// representation feeds the prediction MLP. It is the largest and most
+// expressive WDM baseline (the paper reports it at 8.5 MB, 133× DACE).
+type QueryFormer struct {
+	Env    *Env
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	inProj    *nn.Dense
+	heightEmb *nn.Param
+	layers    []*qfLayer
+	readout   *nn.MLP
+	enc       *featurize.Encoder
+
+	extraIn int
+	embed   func(s dataset.Sample) []float64
+}
+
+// NewQueryFormer builds an untrained QueryFormer.
+func NewQueryFormer(env *Env) *QueryFormer {
+	return &QueryFormer{Env: env, Epochs: 20, LR: 8e-4, Seed: 8}
+}
+
+// WithEmbedding turns this instance into DACE-QueryFormer: the pre-trained
+// DACE embedding is concatenated into the readout input (Eq. 9 analogue).
+func (qf *QueryFormer) WithEmbedding(dim int, embed func(s dataset.Sample) []float64) *QueryFormer {
+	qf.extraIn = dim
+	qf.embed = embed
+	return qf
+}
+
+// Name implements Estimator.
+func (qf *QueryFormer) Name() string {
+	if qf.embed != nil {
+		return "DACE-QueryFormer"
+	}
+	return "QueryFormer"
+}
+
+func (qf *QueryFormer) params() []*nn.Param {
+	ps := append([]*nn.Param(nil), qf.inProj.Params()...)
+	ps = append(ps, qf.heightEmb)
+	for _, l := range qf.layers {
+		ps = append(ps, l.att.Params()...)
+		ps = append(ps, l.proj.Params()...)
+		ps = append(ps, l.ff1.Params()...)
+		ps = append(ps, l.ff2.Params()...)
+		ps = append(ps, l.g1, l.b1, l.g2, l.b2)
+		ps = append(ps, l.bias...)
+	}
+	return append(ps, qf.readout.Params()...)
+}
+
+// SizeMB implements Estimator.
+func (qf *QueryFormer) SizeMB() float64 {
+	if qf.readout == nil {
+		qf.build()
+	}
+	return nn.SizeMB(qf.params())
+}
+
+func (qf *QueryFormer) build() {
+	rng := rand.New(rand.NewSource(qf.Seed))
+	qf.inProj = nn.NewDense("qf.in", featurize.FeatureDim, qfModel, rng)
+	qf.heightEmb = nn.NewParam("qf.height", qfMaxHeight, qfModel)
+	nn.XavierInit(qf.heightEmb.Value, qfMaxHeight, qfModel, rng)
+	qf.layers = nil
+	for i := 0; i < qfLayers; i++ {
+		l := &qfLayer{
+			att:  nn.NewAttention(fmt.Sprintf("qf.%d.att", i), qfModel, qfModel, qfModel, rng),
+			proj: nn.NewDense(fmt.Sprintf("qf.%d.proj", i), qfModel, qfModel, rng),
+			ff1:  nn.NewDense(fmt.Sprintf("qf.%d.ff1", i), qfModel, qfFF, rng),
+			ff2:  nn.NewDense(fmt.Sprintf("qf.%d.ff2", i), qfFF, qfModel, rng),
+			g1:   nn.NewParam(fmt.Sprintf("qf.%d.g1", i), 1, qfModel),
+			b1:   nn.NewParam(fmt.Sprintf("qf.%d.b1", i), 1, qfModel),
+			g2:   nn.NewParam(fmt.Sprintf("qf.%d.g2", i), 1, qfModel),
+			b2:   nn.NewParam(fmt.Sprintf("qf.%d.b2", i), 1, qfModel),
+		}
+		l.g1.Value.Fill(1)
+		l.g2.Value.Fill(1)
+		for d := 0; d < qfMaxDist; d++ {
+			b := nn.NewParam(fmt.Sprintf("qf.%d.bias.%d", i, d), 1, 1)
+			l.bias = append(l.bias, b)
+		}
+		qf.layers = append(qf.layers, l)
+	}
+	qf.readout = nn.NewMLP("qf.readout", qfModel+qf.extraIn, []int{qfModel, 32, 1}, rng)
+}
+
+// structure precomputes the super-node-augmented mask and per-distance
+// indicator matrices of a plan. Index 0 is the super node.
+type qfStructure struct {
+	mask       *nn.Matrix
+	indicators []*nn.Matrix // one per distance bucket (nil when bucket unused)
+	heights    []int        // per augmented position; super node gets height 0
+}
+
+func (qf *QueryFormer) structure(p *plan.Plan) *qfStructure {
+	adj := p.Adjacency()
+	dist := p.Distances()
+	heights := p.Heights()
+	n := len(adj) + 1
+	mask := nn.NewMatrix(n, n)
+	// Super node row/column: attends to and is attended by everything.
+	for j := 0; j < n; j++ {
+		mask.Set(0, j, 1)
+		mask.Set(j, 0, 1)
+	}
+	inds := make([]*nn.Matrix, qfMaxDist)
+	setInd := func(d, i, j int) {
+		if d >= qfMaxDist {
+			d = qfMaxDist - 1
+		}
+		if inds[d] == nil {
+			inds[d] = nn.NewMatrix(n, n)
+		}
+		inds[d].Set(i, j, 1)
+	}
+	for i := range adj {
+		for j := range adj[i] {
+			// Symmetric ancestor/descendant visibility, biased by distance.
+			if adj[i][j] == 1 || adj[j][i] == 1 {
+				mask.Set(i+1, j+1, 1)
+				d := dist[i][j]
+				if d < 0 {
+					d = dist[j][i]
+				}
+				setInd(d, i+1, j+1)
+			}
+		}
+	}
+	hs := make([]int, n)
+	for i, h := range heights {
+		hs[i+1] = h
+	}
+	return &qfStructure{mask: mask, indicators: inds, heights: hs}
+}
+
+// forward returns the readout over the super node.
+func (qf *QueryFormer) forward(t *nn.Tape, enc *featurize.Encoded, st *qfStructure, s dataset.Sample) *nn.Node {
+	n := enc.X.Rows + 1
+	// Input: zero row for the super node, then projected node features, plus
+	// height embeddings gathered per position.
+	zero := nn.NewMatrix(1, featurize.FeatureDim)
+	x := t.ConcatRows(t.Const(zero), t.Const(enc.X))
+	h := qf.inProj.Apply(t, x)
+	idx := make([]int, n)
+	for i, ht := range st.heights {
+		if ht >= qfMaxHeight {
+			ht = qfMaxHeight - 1
+		}
+		idx[i] = ht
+	}
+	h = t.Add(h, t.SelectRows(t.Leaf(qf.heightEmb), idx))
+
+	for _, l := range qf.layers {
+		// Tree-bias attention (manual, since the bias is learnable).
+		q := t.MatMul(h, t.Leaf(l.att.WQ))
+		k := t.MatMul(h, t.Leaf(l.att.WK))
+		v := t.MatMul(h, t.Leaf(l.att.WV))
+		scores := t.Scale(t.MatMulNodesTransB(q, k), 1/math.Sqrt(float64(qfModel)))
+		for d, ind := range st.indicators {
+			if ind == nil {
+				continue
+			}
+			scores = t.Add(scores, t.ScaleConst(t.Leaf(l.bias[d]), ind))
+		}
+		att := t.MatMul(t.SoftmaxRowsMasked(scores, st.mask), v)
+		h = t.LayerNorm(t.Add(h, l.proj.Apply(t, att)), t.Leaf(l.g1), t.Leaf(l.b1))
+		ff := l.ff2.Apply(t, t.ReLU(l.ff1.Apply(t, h)))
+		h = t.LayerNorm(t.Add(h, ff), t.Leaf(l.g2), t.Leaf(l.b2))
+	}
+	super := t.SelectRows(h, []int{0})
+	if qf.embed != nil {
+		e := qf.embed(s)
+		super = t.ConcatCols(super, t.Const(nn.FromSlice(1, len(e), e)))
+	}
+	return qf.readout.Apply(t, super)
+}
+
+// Train implements Estimator (root-latency loss).
+func (qf *QueryFormer) Train(samples []dataset.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("queryformer: no training samples")
+	}
+	qf.enc = featurize.FitEncoder(dataset.Plans(samples), 0)
+	qf.build()
+	encoded := make([]*featurize.Encoded, len(samples))
+	structs := make([]*qfStructure, len(samples))
+	labels := make([]float64, len(samples))
+	for i, s := range samples {
+		encoded[i] = qf.enc.Encode(s.Plan)
+		structs[i] = qf.structure(s.Plan)
+		labels[i] = qf.enc.LabelOf(s.Plan.Root.ActualMS)
+	}
+	trainLoop(qf.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
+		pred := qf.forward(t, encoded[i], structs[i], samples[i])
+		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{labels[i]})))))
+	}, qf.LR, qf.Epochs, 16, int(qf.Seed))
+	return nil
+}
+
+// Predict implements Estimator.
+func (qf *QueryFormer) Predict(s dataset.Sample) float64 {
+	t := nn.NewTape()
+	enc := qf.enc.Encode(s.Plan)
+	out := qf.forward(t, enc, qf.structure(s.Plan), s)
+	return math.Exp(qf.enc.Label.Inverse(out.Value.At(0, 0)))
+}

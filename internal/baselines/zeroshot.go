@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dace/internal/dataset"
+	"dace/internal/featurize"
+	"dace/internal/nn"
+	"dace/internal/plan"
+)
+
+// zsHidden is the message width passed bottom-up between nodes.
+const zsHidden = 32
+
+// zsExtra is the number of data-characteristic features appended to the
+// base plan-node encoding (log table rows, predicate count, fan-in).
+const zsExtra = 3
+
+// ZeroShot is the across-database cost model of Hilprecht & Binnig: one MLP
+// per operator type, composed by bottom-up message passing over the plan
+// graph; features are designed to be transferable (normalized estimates,
+// table scale, predicate counts) rather than vocabulary-bound. It is the
+// strongest baseline across databases, but a much larger and slower model
+// than DACE, and it learns only from the root's latency.
+type ZeroShot struct {
+	Env    *Env
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	units   [plan.NumNodeTypes]*nn.MLP
+	readout *nn.MLP
+	enc     *featurize.Encoder
+	rows    featurize.Scaler
+}
+
+// NewZeroShot builds an untrained Zero-Shot model.
+func NewZeroShot(env *Env) *ZeroShot {
+	return &ZeroShot{Env: env, Epochs: 20, LR: 1e-3, Seed: 5}
+}
+
+// Name implements Estimator.
+func (z *ZeroShot) Name() string { return "Zero-Shot" }
+
+func (z *ZeroShot) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, u := range z.units {
+		ps = append(ps, u.Params()...)
+	}
+	return append(ps, z.readout.Params()...)
+}
+
+// SizeMB implements Estimator.
+func (z *ZeroShot) SizeMB() float64 {
+	if z.readout == nil {
+		z.build()
+	}
+	return nn.SizeMB(z.params())
+}
+
+func (z *ZeroShot) build() {
+	rng := rand.New(rand.NewSource(z.Seed))
+	in := featurize.FeatureDim + zsExtra + zsHidden
+	for i := range z.units {
+		z.units[i] = nn.NewMLP(fmt.Sprintf("zeroshot.unit.%d", i), in, []int{224, 112, zsHidden}, rng)
+	}
+	z.readout = nn.NewMLP("zeroshot.readout", zsHidden, []int{32, 1}, rng)
+}
+
+// nodeFeatures appends the transferable data characteristics to the base
+// 18-dim encoding.
+func (z *ZeroShot) nodeFeatures(enc *featurize.Encoded, p *plan.Plan) *nn.Matrix {
+	nodes := p.DFS()
+	out := nn.NewMatrix(len(nodes), featurize.FeatureDim+zsExtra)
+	for i, n := range nodes {
+		for j := 0; j < featurize.FeatureDim; j++ {
+			out.Set(i, j, enc.X.At(i, j))
+		}
+		var logRows float64
+		nPreds := 0
+		if n.Meta != nil {
+			if n.Meta.Table != "" {
+				logRows = z.rows.Transform(math.Log(math.Max(z.Env.TableRows(p.Database, n.Meta.Table), 1)))
+			}
+			nPreds = len(n.Meta.Filters)
+		}
+		out.Set(i, featurize.FeatureDim, logRows)
+		out.Set(i, featurize.FeatureDim+1, float64(nPreds)/4)
+		out.Set(i, featurize.FeatureDim+2, float64(len(n.Children))/2)
+	}
+	return out
+}
+
+// forward runs bottom-up message passing and returns the scalar prediction.
+func (z *ZeroShot) forward(t *nn.Tape, feats *nn.Matrix, p *plan.Plan) *nn.Node {
+	nodes := p.DFS()
+	index := map[*plan.Node]int{}
+	for i, n := range nodes {
+		index[n] = i
+	}
+	var walk func(n *plan.Node) *nn.Node
+	walk = func(n *plan.Node) *nn.Node {
+		// Average incoming messages (zero vector for leaves).
+		var agg *nn.Node
+		if len(n.Children) == 0 {
+			agg = t.Const(nn.NewMatrix(1, zsHidden))
+		} else {
+			msgs := make([]*nn.Node, 0, len(n.Children))
+			for _, c := range n.Children {
+				msgs = append(msgs, walk(c))
+			}
+			agg = t.MeanRows(t.ConcatRows(msgs...))
+		}
+		feat := t.Const(rowOf(feats, index[n]))
+		return t.ReLU(z.units[n.Type].Apply(t, t.ConcatCols(feat, agg)))
+	}
+	return z.readout.Apply(t, walk(p.Root))
+}
+
+// Train implements Estimator (loss on the root only, as in the original).
+func (z *ZeroShot) Train(samples []dataset.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("zeroshot: no training samples")
+	}
+	plans := dataset.Plans(samples)
+	z.enc = featurize.FitEncoder(plans, 0)
+	var logRows []float64
+	for _, s := range samples {
+		for _, tn := range s.Query.Tables {
+			logRows = append(logRows, math.Log(math.Max(z.Env.TableRows(s.Query.Database, tn), 1)))
+		}
+	}
+	z.rows = featurize.FitScaler(logRows)
+	z.build()
+	feats := make([]*nn.Matrix, len(samples))
+	labels := make([]float64, len(samples))
+	for i, s := range samples {
+		feats[i] = z.nodeFeatures(z.enc.Encode(s.Plan), s.Plan)
+		labels[i] = z.enc.LabelOf(s.Plan.Root.ActualMS)
+	}
+	trainLoop(z.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
+		pred := z.forward(t, feats[i], samples[i].Plan)
+		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{labels[i]})))))
+	}, z.LR, z.Epochs, 16, int(z.Seed))
+	return nil
+}
+
+// Predict implements Estimator.
+func (z *ZeroShot) Predict(s dataset.Sample) float64 {
+	t := nn.NewTape()
+	feats := z.nodeFeatures(z.enc.Encode(s.Plan), s.Plan)
+	out := z.forward(t, feats, s.Plan)
+	return math.Exp(z.enc.Label.Inverse(out.Value.At(0, 0)))
+}

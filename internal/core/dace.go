@@ -1,0 +1,452 @@
+// Package core implements DACE — the paper's Database-Agnostic Cost
+// Estimator: a single-layer, single-head transformer encoder with a
+// tree-structured attention mask over plan-node encodings, an MLP head that
+// predicts the cost of every sub-plan in parallel (Eq. 6), a
+// tree-structure-based loss adjustment (Eq. 4/7), LoRA fine-tuning of the
+// MLP for across-more adaptation (Eq. 8), and a pre-trained-encoder mode
+// whose hidden state can be injected into within-database models (Eq. 9).
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"dace/internal/featurize"
+	"dace/internal/nn"
+	"dace/internal/plan"
+)
+
+// Config are DACE's hyperparameters; DefaultConfig matches the paper (§V-A).
+type Config struct {
+	// DK and DV are the attention projection widths (paper: 128, 128).
+	DK, DV int
+	// Hidden are the MLP layer widths (paper: 128, 64, 1).
+	Hidden []int
+	// Alpha is the loss adjuster base of Eq. 4 (paper: 0.5, by binary
+	// search). Alpha = 0 disables sub-plan learning ("DACE w/o SP");
+	// Alpha = 1 disables the adjustment ("DACE w/o LA").
+	Alpha float64
+	// TreeAttention toggles the tree-structured attention mask; false is
+	// the "DACE w/o TA" ablation (every node attends to every node).
+	TreeAttention bool
+	// LoRARanks are the per-MLP-layer adapter ranks (paper: 32, 16, 8).
+	LoRARanks []int
+	// ActualCardInput feeds true cardinalities instead of optimizer
+	// estimates — the DACE-A upper bound of Fig. 12.
+	ActualCardInput bool
+	// Training knobs.
+	LR        float64
+	Epochs    int
+	BatchSize int
+	Seed      int64
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		DK: 128, DV: 128,
+		Hidden:        []int{128, 64, 1},
+		Alpha:         0.5,
+		TreeAttention: true,
+		LoRARanks:     []int{32, 16, 8},
+		LR:            1.5e-3,
+		Epochs:        20,
+		BatchSize:     16,
+		Seed:          1,
+	}
+}
+
+// Model is a trained (or in-training) DACE instance.
+type Model struct {
+	Cfg Config
+	Enc *featurize.Encoder
+	Att *nn.Attention
+	MLP []*nn.Dense
+	// Gamma is the cost-correction residual coefficient: the prediction is
+	// MLP(attention) + γ·scaled_cost. DACE's framing is learning the *error
+	// distribution of the optimizer's cost* (EDQO); making the optimizer's
+	// cost an explicit residual base realizes that framing and lets the
+	// model extrapolate to cost regimes outside the training range (data
+	// drift, Fig. 7).
+	Gamma *nn.Param
+	// lora holds the adapters after EnableLoRA; nil during pre-training.
+	lora []*nn.LoRADense
+}
+
+// NewModel builds an untrained DACE with freshly initialized weights; the
+// encoder's scalers must be fit before training (Train does this).
+func NewModel(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Cfg:   cfg,
+		Att:   nn.NewAttention("dace.att", featurize.FeatureDim, cfg.DK, cfg.DV, rng),
+		Gamma: nn.NewParam("dace.gamma", 1, 1),
+	}
+	m.Gamma.Value.Data[0] = 1
+	prev := cfg.DV
+	for i, h := range cfg.Hidden {
+		m.MLP = append(m.MLP, nn.NewDense(fmt.Sprintf("dace.mlp.%d", i), prev, h, rng))
+		prev = h
+	}
+	return m
+}
+
+// Params returns all trainable parameters (attention + MLP + adapters).
+func (m *Model) Params() []*nn.Param {
+	ps := append([]*nn.Param(nil), m.Att.Params()...)
+	ps = append(ps, m.Gamma)
+	for i, l := range m.MLP {
+		if m.lora != nil {
+			ps = append(ps, m.lora[i].Params()...)
+		} else {
+			ps = append(ps, l.Params()...)
+		}
+	}
+	return ps
+}
+
+// forward records the full DACE forward pass for one encoded plan and
+// returns (per-node predictions n×1, hidden states). hiddenLayer selects
+// which MLP hidden activation to also return (-1 for none) — the
+// pre-trained-encoder mode reads h₂ (Eq. 9).
+func (m *Model) forward(t *nn.Tape, enc *featurize.Encoded, hiddenLayer int) (pred, hidden *nn.Node) {
+	mask := enc.Mask
+	if !m.Cfg.TreeAttention {
+		full := nn.NewMatrix(mask.Rows, mask.Cols)
+		full.Fill(1)
+		mask = full
+	}
+	h := m.Att.Apply(t, t.Const(enc.X), mask, nil)
+	return m.head(t, h, enc, hiddenLayer)
+}
+
+// head records the MLP (+ optional LoRA adapters) and the cost-correction
+// residual on top of the attention output h.
+func (m *Model) head(t *nn.Tape, h *nn.Node, enc *featurize.Encoded, hiddenLayer int) (pred, hidden *nn.Node) {
+	for i := range m.MLP {
+		if m.lora != nil {
+			h = m.lora[i].Apply(t, h)
+		} else {
+			h = m.MLP[i].Apply(t, h)
+		}
+		if i != len(m.MLP)-1 {
+			h = t.ReLU(h)
+			if i == hiddenLayer {
+				hidden = h
+			}
+		}
+	}
+	// Cost-correction residual: add γ·scaled_cost per node.
+	pred = t.Add(h, t.ScaleConst(t.Leaf(m.Gamma), costColumn(enc)))
+	return pred, hidden
+}
+
+// costColumn extracts the scaled log-cost feature as an n×1 matrix.
+func costColumn(enc *featurize.Encoded) *nn.Matrix {
+	out := nn.NewMatrix(enc.X.Rows, 1)
+	for i := 0; i < enc.X.Rows; i++ {
+		out.Data[i] = enc.X.At(i, featurize.FeatureDim-2)
+	}
+	return out
+}
+
+// attentionRaw computes the masked attention output (n×dv) with plain
+// matrix arithmetic — used to cache the frozen encoder's features during
+// LoRA fine-tuning.
+func (m *Model) attentionRaw(enc *featurize.Encoded) *nn.Matrix {
+	x := enc.X
+	q := nn.MatMul(x, m.Att.WQ.Value)
+	k := nn.MatMul(x, m.Att.WK.Value)
+	v := nn.MatMul(x, m.Att.WV.Value)
+	scores := nn.MatMulTransB(q, k)
+	nn.ScaleInPlace(scores, 1/math.Sqrt(float64(m.Cfg.DK)))
+	n := scores.Rows
+	mask := enc.Mask
+	for i := 0; i < n; i++ {
+		max := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if (!m.Cfg.TreeAttention || mask.At(i, j) != 0) && scores.At(i, j) > max {
+				max = scores.At(i, j)
+			}
+		}
+		var z float64
+		for j := 0; j < n; j++ {
+			if !m.Cfg.TreeAttention || mask.At(i, j) != 0 {
+				e := math.Exp(scores.At(i, j) - max)
+				scores.Set(i, j, e)
+				z += e
+			} else {
+				scores.Set(i, j, 0)
+			}
+		}
+		for j := 0; j < n; j++ {
+			scores.Set(i, j, scores.At(i, j)/z)
+		}
+	}
+	return nn.MatMul(scores, v)
+}
+
+// loss records the Eq. (7) training loss for one plan: the per-node
+// absolute log-q-error weighted by the loss adjuster, normalized by the
+// total weight so plans of different sizes contribute comparably. cachedH,
+// if non-nil, is the precomputed (frozen) attention output.
+func (m *Model) loss(t *nn.Tape, enc *featurize.Encoded, cachedH *nn.Matrix) *nn.Node {
+	var pred *nn.Node
+	if cachedH != nil {
+		pred, _ = m.head(t, t.Const(cachedH), enc, -1)
+	} else {
+		pred, _ = m.forward(t, enc, -1)
+	}
+	diff := t.Abs(t.Sub(pred, t.Const(enc.Y)))
+	weighted := t.MulConst(diff, enc.LossW)
+	var wsum float64
+	for _, w := range enc.LossW.Data {
+		wsum += w
+	}
+	if wsum <= 0 {
+		wsum = 1
+	}
+	return t.Scale(t.Sum(weighted), 1/wsum)
+}
+
+// Train fits DACE on labeled plans. It fits the encoder's robust scalers on
+// the same corpus (the paper's protocol: scalers are part of the
+// pre-trained artifact).
+func Train(plans []*plan.Plan, cfg Config) *Model {
+	m := NewModel(cfg)
+	if cfg.ActualCardInput {
+		m.Enc = featurize.FitEncoderActualCard(plans, cfg.Alpha)
+	} else {
+		m.Enc = featurize.FitEncoder(plans, cfg.Alpha)
+	}
+	m.fit(plans, cfg.LR, cfg.Epochs)
+	return m
+}
+
+// fit runs the mini-batch Adam loop over plans.
+func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
+	encoded := make([]*featurize.Encoded, len(plans))
+	for i, p := range plans {
+		encoded[i] = m.Enc.Encode(p)
+	}
+	// LoRA fine-tuning: the attention block is frozen, so its per-plan
+	// output is a fixed feature matrix — compute it once and train only the
+	// (adapter-augmented) head over it.
+	var cached []*nn.Matrix
+	if m.lora != nil {
+		cached = make([]*nn.Matrix, len(encoded))
+		for i, enc := range encoded {
+			cached[i] = m.attentionRaw(enc)
+		}
+	}
+	params := m.Params()
+	opt := nn.NewAdam(params, lr)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 7))
+	order := rng.Perm(len(encoded))
+	batch := m.Cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for b := 0; b < len(order); b += batch {
+			end := b + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[b:end] {
+				t := nn.NewTape()
+				var h *nn.Matrix
+				if cached != nil {
+					h = cached[idx]
+				}
+				l := m.loss(t, encoded[idx], h)
+				t.Backward(l)
+			}
+			nn.ClipGradNorm(params, 5)
+			opt.Step()
+		}
+	}
+}
+
+// Predict returns the estimated execution time (ms) of the plan's root —
+// the quantity q-error is computed over. As in the paper, inference prices
+// only the root: the attention query is computed for the root row alone and
+// the MLP runs on a single vector, so prediction is much cheaper than a
+// training pass (use PredictSubPlans when every node's estimate is wanted).
+func (m *Model) Predict(p *plan.Plan) float64 {
+	enc := m.Enc.Encode(p)
+	return m.Enc.InverseLabel(m.predictRootRaw(enc))
+}
+
+// predictRootRaw computes the root's scaled-log prediction with raw matrix
+// arithmetic (no autodiff tape). The root's attention mask row is all ones
+// (the root dominates every node), so no masking is needed.
+func (m *Model) predictRootRaw(enc *featurize.Encoded) float64 {
+	x := enc.X
+	q := nn.MatMul(rowOf(x, 0), m.Att.WQ.Value) // 1×dk
+	k := nn.MatMul(x, m.Att.WK.Value)           // n×dk
+	v := nn.MatMul(x, m.Att.WV.Value)           // n×dv
+	scores := nn.MatMulTransB(q, k)             // 1×n
+	nn.ScaleInPlace(scores, 1/math.Sqrt(float64(m.Cfg.DK)))
+	// Row softmax (identical arithmetic to the tape op's unmasked row).
+	max := math.Inf(-1)
+	for _, s := range scores.Data {
+		if s > max {
+			max = s
+		}
+	}
+	var z float64
+	for i, s := range scores.Data {
+		e := math.Exp(s - max)
+		scores.Data[i] = e
+		z += e
+	}
+	for i := range scores.Data {
+		scores.Data[i] /= z
+	}
+	h := nn.MatMul(scores, v) // 1×dv
+	for i, l := range m.MLP {
+		next := nn.MatMul(h, l.W.Value)
+		nn.AddInPlace(next, l.B.Value)
+		if m.lora != nil {
+			ad := nn.MatMul(nn.MatMul(h, m.lora[i].Down.Value), m.lora[i].Up.Value)
+			nn.ScaleInPlace(ad, m.lora[i].Scale)
+			nn.AddInPlace(next, ad)
+		}
+		h = next
+		if i != len(m.MLP)-1 {
+			for j, hv := range h.Data {
+				if hv < 0 {
+					h.Data[j] = 0
+				}
+			}
+		}
+	}
+	return h.Data[0] + m.Gamma.Value.Data[0]*enc.X.At(0, featurize.FeatureDim-2)
+}
+
+// rowOf copies row i of a matrix into a fresh 1×cols matrix.
+func rowOf(mx *nn.Matrix, i int) *nn.Matrix {
+	out := nn.NewMatrix(1, mx.Cols)
+	copy(out.Data, mx.Data[i*mx.Cols:(i+1)*mx.Cols])
+	return out
+}
+
+// PredictSubPlans returns estimated latencies (ms) for every node in DFS
+// order — the parallel sub-plan prediction of Eq. (6).
+func (m *Model) PredictSubPlans(p *plan.Plan) []float64 {
+	enc := m.Enc.Encode(p)
+	t := nn.NewTape()
+	pred, _ := m.forward(t, enc, -1)
+	out := make([]float64, pred.Value.Rows)
+	for i := range out {
+		out[i] = m.Enc.InverseLabel(pred.Value.At(i, 0))
+	}
+	return out
+}
+
+// EmbedDim is the width of the pre-trained-encoder output: h₂ plus one
+// dimension carrying the model's own scaled root prediction.
+func (m *Model) EmbedDim() int { return m.Cfg.Hidden[len(m.Cfg.Hidden)-2] + 1 }
+
+// Embed returns w_E of Eq. (9): the root node's second MLP hidden state
+// (h₂) — the query-plan embedding other estimators integrate — with the
+// model's scaled root prediction appended. The cost-correction residual
+// γ·cost lives outside h₂, so the raw hidden state alone would withhold the
+// pre-trained estimator's strongest signal from the downstream model.
+func (m *Model) Embed(p *plan.Plan) []float64 {
+	enc := m.Enc.Encode(p)
+	t := nn.NewTape()
+	pred, hidden := m.forward(t, enc, len(m.MLP)-2)
+	out := make([]float64, hidden.Value.Cols+1)
+	for j := 0; j < hidden.Value.Cols; j++ {
+		out[j] = hidden.Value.At(0, j)
+	}
+	out[hidden.Value.Cols] = pred.Value.At(0, 0)
+	return out
+}
+
+// EnableLoRA attaches low-rank adapters to the MLP layers and freezes the
+// base weights (attention included): subsequent training updates only ΔW,
+// per Eq. (8).
+func (m *Model) EnableLoRA() {
+	if m.lora != nil {
+		return
+	}
+	if len(m.Cfg.LoRARanks) != len(m.MLP) {
+		panic(fmt.Sprintf("core: %d LoRA ranks for %d MLP layers", len(m.Cfg.LoRARanks), len(m.MLP)))
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 99))
+	for i, l := range m.MLP {
+		ad := nn.NewLoRADense(l, m.Cfg.LoRARanks[i], rng)
+		ad.FreezeBase()
+		m.lora = append(m.lora, ad)
+	}
+	for _, p := range m.Att.Params() {
+		p.Frozen = true
+	}
+	m.Gamma.Frozen = true
+}
+
+// LoRAEnabled reports whether adapters are attached.
+func (m *Model) LoRAEnabled() bool { return m.lora != nil }
+
+// FineTuneLoRA adapts a pre-trained model to a new environment (across-more
+// or a specific database) by training only the LoRA adapters on the given
+// labeled plans. The encoder's scalers stay frozen — the pre-trained
+// knowledge is reused, only the low-rank correction is learned.
+func (m *Model) FineTuneLoRA(plans []*plan.Plan, lr float64, epochs int) {
+	if m.Enc == nil {
+		panic("core: fine-tuning an untrained model")
+	}
+	m.EnableLoRA()
+	m.fit(plans, lr, epochs)
+}
+
+// MergeLoRA folds the trained adapters into the base MLP weights
+// (W += scale·Down·Up) and detaches them, so serving pays no adapter
+// matmuls. Predictions are unchanged; the model can no longer be
+// fine-tuned incrementally afterwards.
+func (m *Model) MergeLoRA() {
+	if m.lora == nil {
+		return
+	}
+	for _, ad := range m.lora {
+		ad.Merge()
+	}
+	m.lora = nil
+	for _, p := range m.Params() {
+		p.Frozen = false
+	}
+}
+
+// TrainableParams counts parameters the optimizer would currently update —
+// the LoRA efficiency story in Table II.
+func (m *Model) TrainableParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		if !p.Frozen {
+			n += len(p.Value.Data)
+		}
+	}
+	return n
+}
+
+// Save writes the model parameters and encoder to w.
+func (m *Model) Save(w io.Writer) error {
+	return saveModel(w, m.Enc, m.Params())
+}
+
+// Load restores parameters and encoder written by Save into a model built
+// with the same Config (and LoRA state).
+func (m *Model) Load(r io.Reader) error {
+	enc, err := loadModel(r, m.Params())
+	if err != nil {
+		return err
+	}
+	m.Enc = enc
+	return nil
+}

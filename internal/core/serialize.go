@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dace/internal/featurize"
+	"dace/internal/nn"
+)
+
+// modelFile is the on-disk form of a DACE model: the fitted encoder plus
+// the parameter dump produced by nn.SaveParams.
+type modelFile struct {
+	Encoder *featurize.Encoder `json:"encoder"`
+	Params  json.RawMessage    `json:"params"`
+}
+
+func saveModel(w io.Writer, enc *featurize.Encoder, params []*nn.Param) error {
+	if enc == nil {
+		return fmt.Errorf("core: model has no fitted encoder")
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, params); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(modelFile{Encoder: enc, Params: buf.Bytes()})
+}
+
+func loadModel(r io.Reader, params []*nn.Param) (*featurize.Encoder, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if mf.Encoder == nil {
+		return nil, fmt.Errorf("core: model file lacks encoder")
+	}
+	if err := nn.LoadParams(bytes.NewReader(mf.Params), params); err != nil {
+		return nil, err
+	}
+	return mf.Encoder, nil
+}

@@ -1,0 +1,193 @@
+// Package datagen is the analytic data layer under the simulated DBMS: it
+// evaluates *true* selectivities and cardinalities against the column
+// distributions declared in a schema.Database. The executor uses it to
+// label plans with actual row counts; the optimizer uses a corrupted view
+// of the same quantities (see internal/optimizer) — the gap between the two
+// is exactly the "error distribution of the query optimizer" (EDQO) that
+// DACE learns to correct.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// Oracle answers true-cardinality questions for one database.
+type Oracle struct {
+	DB *schema.Database
+}
+
+// NewOracle builds an oracle over db.
+func NewOracle(db *schema.Database) *Oracle { return &Oracle{DB: db} }
+
+// CDF returns P(col ≤ v) under the column's true distribution (ignoring
+// nulls; callers fold in NullFrac separately).
+func CDF(c *schema.Column, v float64) float64 {
+	if v < c.Min {
+		return 0
+	}
+	if v >= c.Max {
+		return 1
+	}
+	span := c.Max - c.Min
+	if span == 0 {
+		return 1
+	}
+	u := (v - c.Min) / span
+	switch c.Dist {
+	case schema.Uniform:
+		return u
+	case schema.Zipf:
+		// Values ranked by frequency along the domain: rank r(v) ∝ u·NDV.
+		n := float64(c.NDV)
+		r := math.Max(1, u*n)
+		return harmonic(r, c.Skew) / harmonic(n, c.Skew)
+	case schema.Normal:
+		mu := (c.Min + c.Max) / 2
+		sigma := span / math.Max(c.Skew, 0.5)
+		return 0.5 * (1 + math.Erf((v-mu)/(sigma*math.Sqrt2)))
+	}
+	panic(fmt.Sprintf("datagen: unknown distribution %v", c.Dist))
+}
+
+// PMF returns P(col = v): the probability mass of the single value v.
+func PMF(c *schema.Column, v float64) float64 {
+	if v < c.Min || v > c.Max || c.NDV == 0 {
+		return 0
+	}
+	n := float64(c.NDV)
+	switch c.Dist {
+	case schema.Uniform:
+		return 1 / n
+	case schema.Zipf:
+		span := c.Max - c.Min
+		u := 0.0
+		if span > 0 {
+			u = (v - c.Min) / span
+		}
+		r := math.Max(1, u*n)
+		return math.Pow(r, -c.Skew) / harmonic(n, c.Skew)
+	case schema.Normal:
+		// Discretize the normal: mass ≈ density × bucket width.
+		span := c.Max - c.Min
+		mu := (c.Min + c.Max) / 2
+		sigma := span / math.Max(c.Skew, 0.5)
+		density := math.Exp(-((v-mu)*(v-mu))/(2*sigma*sigma)) / (sigma * math.Sqrt(2*math.Pi))
+		return math.Min(1, density*span/n)
+	}
+	panic(fmt.Sprintf("datagen: unknown distribution %v", c.Dist))
+}
+
+// harmonic approximates the generalized harmonic number H(n, s) = Σ_{k≤n} k^−s
+// with the integral approximation, exact enough for selectivity purposes.
+func harmonic(n, s float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	switch {
+	case math.Abs(s-1) < 1e-9:
+		return math.Log(n) + 0.5772156649 // Euler–Mascheroni
+	default:
+		return (math.Pow(n, 1-s)-1)/(1-s) + 0.5*(1+math.Pow(n, -s))
+	}
+}
+
+// PredicateSelectivity returns the true selectivity of a single predicate
+// on the column, including the null fraction (nulls never satisfy a
+// comparison).
+func PredicateSelectivity(c *schema.Column, op string, v float64) float64 {
+	notNull := 1 - c.NullFrac
+	var sel float64
+	switch op {
+	case "=":
+		sel = PMF(c, v)
+	case "<", "<=":
+		sel = CDF(c, v)
+	case ">", ">=":
+		sel = 1 - CDF(c, v)
+	default:
+		panic(fmt.Sprintf("datagen: unknown operator %q", op))
+	}
+	return clampSel(sel * notNull)
+}
+
+// ConjunctionSelectivity returns the true selectivity of a conjunction of
+// predicates on one table, applying the table's correlation coefficient:
+// with ρ=0 predicates are independent (product rule); as ρ→1 the
+// conjunction degenerates to the most selective predicate alone
+// (exponential-backoff model). This is the mechanism that makes the
+// optimizer's independence assumption wrong in a database-specific way.
+func ConjunctionSelectivity(t *schema.Table, preds []plan.Predicate) float64 {
+	if len(preds) == 0 {
+		return 1
+	}
+	sels := make([]float64, 0, len(preds))
+	for _, p := range preds {
+		c := t.Column(p.Column)
+		if c == nil {
+			panic(fmt.Sprintf("datagen: predicate on unknown column %s.%s", t.Name, p.Column))
+		}
+		sels = append(sels, PredicateSelectivity(c, p.Op, p.Value))
+	}
+	// Sort ascending so the most selective predicate keeps full weight.
+	for i := 1; i < len(sels); i++ {
+		for j := i; j > 0 && sels[j] < sels[j-1]; j-- {
+			sels[j], sels[j-1] = sels[j-1], sels[j]
+		}
+	}
+	rho := t.Correlation
+	sel := sels[0]
+	for _, s := range sels[1:] {
+		sel *= math.Pow(s, 1-rho)
+	}
+	return clampSel(sel)
+}
+
+// ScanRows returns the true output cardinality of scanning table t with the
+// given filters.
+func (o *Oracle) ScanRows(tableName string, preds []plan.Predicate) float64 {
+	t := o.DB.Table(tableName)
+	if t == nil {
+		panic(fmt.Sprintf("datagen: unknown table %q", tableName))
+	}
+	return math.Max(1, float64(t.Rows)*ConjunctionSelectivity(t, preds))
+}
+
+// JoinSelectivity returns the *true* selectivity of the equi-join
+// child.childCol = parent.parentCol given the set of filtered columns on
+// either side. The base is the textbook 1/NDV(parent key); on top of it, a
+// deterministic correlation kick models filter↔join-key correlation: the
+// same (fk, filter set) always skews fanout the same way, with magnitude
+// scaled by the FK's KeyCorr. The kick is a pure function of the query via
+// hashing, so it is repeatable yet invisible in optimizer estimates —
+// within-database models can learn it from predicate features; estimate-only
+// models see it as structured noise.
+func (o *Oracle) JoinSelectivity(fk schema.ForeignKey, filteredCols []string) float64 {
+	parent := o.DB.Table(fk.ParentTable)
+	pc := parent.Column(fk.ParentColumn)
+	base := 1 / float64(pc.NDV)
+	if fk.KeyCorr == 0 {
+		return clampSel(base)
+	}
+	// The kick has a positive mean (0.9·KeyCorr in log space): real
+	// workloads filter toward the dense side of skewed join keys, so
+	// optimizers systematically *underestimate* join results — the
+	// depth-compounding bias of Leis et al. The zero-mean part varies per
+	// (fk, filter set), deterministically.
+	key := append([]string{"joincorr", o.DB.Name, fk.ChildTable, fk.ChildColumn}, filteredCols...)
+	z := schema.HashNormal(key...)
+	return clampSel(base * math.Exp(fk.KeyCorr*(0.9+1.2*z)))
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-12 {
+		return 1e-12
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

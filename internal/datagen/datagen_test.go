@@ -1,0 +1,195 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+func uniformCol() *schema.Column {
+	return &schema.Column{Name: "u", Dist: schema.Uniform, Min: 0, Max: 100, NDV: 100}
+}
+func zipfCol() *schema.Column {
+	return &schema.Column{Name: "z", Dist: schema.Zipf, Min: 0, Max: 100, NDV: 100, Skew: 1.2}
+}
+func normalCol() *schema.Column {
+	return &schema.Column{Name: "n", Dist: schema.Normal, Min: 0, Max: 100, NDV: 100, Skew: 4}
+}
+
+func TestCDFBoundaries(t *testing.T) {
+	for _, c := range []*schema.Column{uniformCol(), zipfCol(), normalCol()} {
+		if got := CDF(c, c.Min-1); got != 0 {
+			t.Errorf("%s: CDF below min = %v", c.Name, got)
+		}
+		if got := CDF(c, c.Max); got != 1 {
+			t.Errorf("%s: CDF at max = %v", c.Name, got)
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := math.Mod(math.Abs(a), 100), math.Mod(math.Abs(b), 100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, c := range []*schema.Column{uniformCol(), zipfCol(), normalCol()} {
+			if CDF(c, lo) > CDF(c, hi)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCDFIsLinear(t *testing.T) {
+	c := uniformCol()
+	if got := CDF(c, 25); !close(got, 0.25) {
+		t.Fatalf("uniform CDF(25) = %v, want 0.25", got)
+	}
+}
+
+func TestZipfIsFrontLoaded(t *testing.T) {
+	c := zipfCol()
+	// The first 10% of the (rank-ordered) domain holds far more than 10% of mass.
+	if got := CDF(c, 10); got < 0.3 {
+		t.Fatalf("zipf CDF(10%%) = %v, want front-loaded (>0.3)", got)
+	}
+}
+
+func TestNormalIsCentered(t *testing.T) {
+	c := normalCol()
+	if got := CDF(c, 50); !close(got, 0.5) {
+		t.Fatalf("normal CDF(mid) = %v, want 0.5", got)
+	}
+}
+
+func TestPMFBasics(t *testing.T) {
+	u := uniformCol()
+	if got := PMF(u, 42); !close(got, 0.01) {
+		t.Fatalf("uniform PMF = %v, want 1/NDV = 0.01", got)
+	}
+	if PMF(u, -5) != 0 || PMF(u, 200) != 0 {
+		t.Fatal("PMF outside domain should be 0")
+	}
+	z := zipfCol()
+	if PMF(z, 1) <= PMF(z, 90) {
+		t.Fatal("zipf PMF should decay along domain")
+	}
+}
+
+func TestPredicateSelectivityOpsAndNulls(t *testing.T) {
+	c := uniformCol()
+	c.NullFrac = 0.5
+	lt := PredicateSelectivity(c, "<", 50)
+	gt := PredicateSelectivity(c, ">", 50)
+	if !close(lt+gt, 0.5) { // halves sum to the non-null fraction
+		t.Fatalf("lt+gt = %v, want 0.5 (null fraction excluded)", lt+gt)
+	}
+	eq := PredicateSelectivity(c, "=", 50)
+	if !close(eq, 0.005) {
+		t.Fatalf("eq = %v, want 0.005", eq)
+	}
+}
+
+func TestPredicateSelectivityUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PredicateSelectivity(uniformCol(), "LIKE", 1)
+}
+
+func TestConjunctionIndependentWhenUncorrelated(t *testing.T) {
+	tab := &schema.Table{Name: "t", Rows: 1000, Correlation: 0, Columns: []schema.Column{*uniformCol(), *normalCol()}}
+	preds := []plan.Predicate{{Column: "u", Op: "<", Value: 50}, {Column: "n", Op: "<", Value: 50}}
+	got := ConjunctionSelectivity(tab, preds)
+	want := PredicateSelectivity(&tab.Columns[0], "<", 50) * PredicateSelectivity(&tab.Columns[1], "<", 50)
+	if !close(got, want) {
+		t.Fatalf("independent conjunction = %v, want %v", got, want)
+	}
+}
+
+func TestConjunctionCorrelationRaisesSelectivity(t *testing.T) {
+	indep := &schema.Table{Name: "t", Rows: 1000, Correlation: 0, Columns: []schema.Column{*uniformCol(), *normalCol()}}
+	corr := &schema.Table{Name: "t", Rows: 1000, Correlation: 0.8, Columns: []schema.Column{*uniformCol(), *normalCol()}}
+	preds := []plan.Predicate{{Column: "u", Op: "<", Value: 30}, {Column: "n", Op: "<", Value: 40}}
+	si := ConjunctionSelectivity(indep, preds)
+	sc := ConjunctionSelectivity(corr, preds)
+	if sc <= si {
+		t.Fatalf("correlated selectivity %v should exceed independent %v", sc, si)
+	}
+	// Bounded above by the most selective predicate.
+	minSel := math.Min(
+		PredicateSelectivity(&corr.Columns[0], "<", 30),
+		PredicateSelectivity(&corr.Columns[1], "<", 40))
+	if sc > minSel+1e-12 {
+		t.Fatalf("conjunction %v exceeds most selective predicate %v", sc, minSel)
+	}
+}
+
+func TestConjunctionEmptyIsOne(t *testing.T) {
+	tab := &schema.Table{Name: "t", Rows: 10, Columns: []schema.Column{*uniformCol()}}
+	if got := ConjunctionSelectivity(tab, nil); got != 1 {
+		t.Fatalf("empty conjunction = %v, want 1", got)
+	}
+}
+
+func TestOracleScanRows(t *testing.T) {
+	db := schema.IMDB()
+	o := NewOracle(db)
+	all := o.ScanRows("title", nil)
+	if all != float64(db.Table("title").Rows) {
+		t.Fatalf("unfiltered scan = %v, want table rows", all)
+	}
+	some := o.ScanRows("title", []plan.Predicate{{Column: "production_year", Op: ">", Value: 2010}})
+	if some >= all || some < 1 {
+		t.Fatalf("filtered scan %v out of range (0, %v)", some, all)
+	}
+}
+
+func TestJoinSelectivityBaseAndKick(t *testing.T) {
+	db := schema.IMDB()
+	o := NewOracle(db)
+	fk, _ := db.FKBetween("cast_info", "title")
+	uncorr := fk
+	uncorr.KeyCorr = 0
+	base := o.JoinSelectivity(uncorr, nil)
+	want := 1 / float64(db.Table("title").Column("id").NDV)
+	if !close(base, want) {
+		t.Fatalf("base join selectivity %v, want %v", base, want)
+	}
+	kicked := o.JoinSelectivity(fk, []string{"title.production_year"})
+	if kicked == base {
+		t.Fatal("filter/join-key correlation had no effect")
+	}
+	if plain := o.JoinSelectivity(fk, nil); plain == base {
+		t.Fatal("correlated FK should skew fanout even without filters")
+	}
+	// Deterministic per filter set.
+	again := o.JoinSelectivity(fk, []string{"title.production_year"})
+	if kicked != again {
+		t.Fatal("join selectivity kick not deterministic")
+	}
+}
+
+func TestJoinSelectivityNoKickWhenUncorrelated(t *testing.T) {
+	db := schema.IMDB()
+	o := NewOracle(db)
+	fk, _ := db.FKBetween("cast_info", "title")
+	fk.KeyCorr = 0
+	if o.JoinSelectivity(fk, []string{"title.kind_id"}) != o.JoinSelectivity(fk, nil) {
+		t.Fatal("KeyCorr=0 must disable the correlation kick")
+	}
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9+1e-6*math.Abs(b)
+}

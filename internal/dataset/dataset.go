@@ -1,0 +1,55 @@
+// Package dataset assembles labeled training data: it plans workload
+// queries with the simulated optimizer and labels every sub-plan with
+// actual latencies from the simulated executor — the equivalent of running
+// EXPLAIN ANALYZE over a workload on a real system.
+package dataset
+
+import (
+	"fmt"
+
+	"dace/internal/executor"
+	"dace/internal/optimizer"
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+// Sample is one labeled query: its structured form and its executed plan.
+type Sample struct {
+	Query *workload.Query
+	Plan  *plan.Plan
+}
+
+// Collect plans and "executes" the queries of one database on one machine.
+func Collect(db *schema.Database, qs []*workload.Query, m executor.Machine) ([]Sample, error) {
+	pl := optimizer.New(db)
+	ex := executor.New(db, m)
+	out := make([]Sample, 0, len(qs))
+	for _, q := range qs {
+		p, err := pl.Plan(q)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: plan %s: %w", q.ID, err)
+		}
+		if _, err := ex.Run(p, q.ID); err != nil {
+			return nil, fmt.Errorf("dataset: execute %s: %w", q.ID, err)
+		}
+		out = append(out, Sample{Query: q, Plan: p})
+	}
+	return out, nil
+}
+
+// Plans extracts the plan trees from samples.
+func Plans(samples []Sample) []*plan.Plan {
+	out := make([]*plan.Plan, len(samples))
+	for i, s := range samples {
+		out[i] = s.Plan
+	}
+	return out
+}
+
+// ComplexWorkload collects the Zero-Shot-style "complex" workload for one
+// benchmark database: n queries planned and executed on machine m.
+func ComplexWorkload(db *schema.Database, n int, m executor.Machine) ([]Sample, error) {
+	seed := int64(schema.Hash64("complex", db.Name))
+	return Collect(db, workload.Complex(db, n, seed), m)
+}

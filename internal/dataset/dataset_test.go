@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"testing"
+
+	"dace/internal/executor"
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+func TestCollectLabelsEverything(t *testing.T) {
+	db := schema.IMDB()
+	qs := workload.Complex(db, 25, 3)
+	samples, err := Collect(db, qs, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(qs) {
+		t.Fatalf("got %d samples for %d queries", len(samples), len(qs))
+	}
+	for i, s := range samples {
+		if s.Query != qs[i] {
+			t.Fatal("sample/query misalignment")
+		}
+		if err := s.Plan.Validate(); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		for _, n := range s.Plan.DFS() {
+			if n.ActualMS <= 0 {
+				t.Fatalf("sample %d has unlabeled node %s", i, n.Type)
+			}
+		}
+	}
+}
+
+func TestCollectRejectsForeignQueries(t *testing.T) {
+	imdb := schema.IMDB()
+	tpch := schema.TPCH(1)
+	qs := workload.Complex(tpch, 3, 1)
+	if _, err := Collect(imdb, qs, executor.M1()); err == nil {
+		t.Fatal("expected error planning tpc_h queries against imdb")
+	}
+}
+
+func TestPlansExtracts(t *testing.T) {
+	db := schema.IMDB()
+	samples, err := ComplexWorkload(db, 10, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := Plans(samples)
+	if len(plans) != len(samples) {
+		t.Fatal("length mismatch")
+	}
+	for i := range plans {
+		if plans[i] != samples[i].Plan {
+			t.Fatal("Plans reordered samples")
+		}
+	}
+	var _ *plan.Plan = plans[0]
+}
+
+func TestComplexWorkloadDeterministic(t *testing.T) {
+	db := schema.BenchmarkDB("credit")
+	a, err := ComplexWorkload(db, 12, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComplexWorkload(db, 12, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Query.SQL() != b[i].Query.SQL() {
+			t.Fatal("workload not deterministic")
+		}
+		if a[i].Plan.Root.ActualMS != b[i].Plan.Root.ActualMS {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}

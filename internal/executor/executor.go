@@ -1,0 +1,246 @@
+// Package executor is the simulated execution engine: the stand-in for
+// running EXPLAIN ANALYZE on a real PostgreSQL instance. Given a physical
+// plan, it computes every node's *true* output cardinality from the
+// analytic data layer (internal/datagen) and converts the true work of each
+// operator into milliseconds under a machine profile, with deterministic
+// lognormal noise. The per-node inclusive latencies are the training labels
+// for every model in this repository.
+package executor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dace/internal/datagen"
+	"dace/internal/optimizer"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// Machine is a hardware/configuration profile. Its cost constants play the
+// role PostgreSQL's cost constants play for the optimizer — except these
+// are the *true* ones for this machine, and they are deliberately not equal
+// to the optimizer's defaults. The mismatch, together with cardinality
+// estimation error, is the EDQO the paper's model learns.
+type Machine struct {
+	Name string
+	// Params are the machine's true per-operation costs (in abstract work
+	// units, converted to milliseconds by MSPerUnit).
+	Params optimizer.CostParams
+	// MSPerUnit converts work units to milliseconds.
+	MSPerUnit float64
+	// ParallelSpeedup is the true speedup a Gather node achieves.
+	ParallelSpeedup float64
+	// NoiseSigma is the per-node lognormal latency noise.
+	NoiseSigma float64
+	// QueryNoiseSigma is a whole-query lognormal factor (system load).
+	QueryNoiseSigma float64
+}
+
+// M1 returns the paper's training machine (Xeon E5-2650 v4 class): slower
+// CPU, fast sequential storage.
+func M1() Machine {
+	return Machine{
+		Name: "M1",
+		Params: optimizer.CostParams{
+			SeqPageCost:       0.7,
+			RandomPageCost:    1.6, // SSD: random IO far cheaper than the default 4.0 assumes
+			CPUTupleCost:      0.02, // per-tuple CPU heavier than the model thinks
+			CPUIndexTupleCost: 0.004,
+			CPUOperatorCost:   0.006,
+			RowWidth:          100,
+			PageSize:          8192,
+		},
+		MSPerUnit:       0.021,
+		ParallelSpeedup: 2.3,
+		NoiseSigma:      0.12,
+		QueryNoiseSigma: 0.06,
+	}
+}
+
+// M2 returns the across-more machine (desktop i5-8500 class): ~40% faster
+// CPU, slower storage, weaker parallelism. Same queries get systematically
+// different latencies here, which is what DACE-LoRA adapts to.
+func M2() Machine {
+	return Machine{
+		Name: "M2",
+		Params: optimizer.CostParams{
+			SeqPageCost:       1.5,
+			RandomPageCost:    4.8,
+			CPUTupleCost:      0.011,
+			CPUIndexTupleCost: 0.003,
+			CPUOperatorCost:   0.0032,
+			RowWidth:          100,
+			PageSize:          8192,
+		},
+		MSPerUnit:       0.016,
+		ParallelSpeedup: 1.6,
+		NoiseSigma:      0.14,
+		QueryNoiseSigma: 0.08,
+	}
+}
+
+// Executor labels plans for one database on one machine.
+type Executor struct {
+	DB      *schema.Database
+	Oracle  *datagen.Oracle
+	Machine Machine
+}
+
+// New builds an executor.
+func New(db *schema.Database, m Machine) *Executor {
+	return &Executor{DB: db, Oracle: datagen.NewOracle(db), Machine: m}
+}
+
+// Run simulates executing the plan: it fills ActualRows and ActualMS
+// (inclusive sub-plan latency, as EXPLAIN ANALYZE reports) on every node
+// and returns the root latency. queryID seeds the deterministic noise, so
+// re-running the same query on the same machine reproduces the label.
+func (e *Executor) Run(p *plan.Plan, queryID string) (float64, error) {
+	if p.Database != e.DB.Name {
+		return 0, fmt.Errorf("executor: plan for %q run against %q", p.Database, e.DB.Name)
+	}
+	loadFactor := math.Exp(e.Machine.QueryNoiseSigma * schema.HashNormal("load", e.Machine.Name, queryID))
+	nodeIdx := 0
+	_, total := e.walk(p.Root, queryID, loadFactor, &nodeIdx)
+	return total, nil
+}
+
+// walk returns (true output rows, inclusive actual ms) for the subtree.
+func (e *Executor) walk(n *plan.Node, queryID string, load float64, idx *int) (rows, ms float64) {
+	myIdx := *idx
+	*idx++
+
+	var childRows []float64
+	var childMS float64
+	for _, c := range n.Children {
+		r, m := e.walk(c, queryID, load, idx)
+		childRows = append(childRows, r)
+		childMS += m
+	}
+
+	rows = e.trueRows(n, childRows)
+	work := e.work(n, rows, childRows)
+	noise := math.Exp(e.Machine.NoiseSigma * schema.HashNormal("node", e.Machine.Name, queryID, fmt.Sprint(myIdx)))
+	selfMS := work * e.Machine.MSPerUnit * noise * load
+
+	if n.Type == plan.Gather {
+		// Workers genuinely parallelize the subtree.
+		childMS /= e.Machine.ParallelSpeedup
+	}
+	ms = childMS + selfMS
+	n.ActualRows = rows
+	n.ActualMS = ms
+	return rows, ms
+}
+
+// trueRows computes the node's true output cardinality from its children's.
+func (e *Executor) trueRows(n *plan.Node, childRows []float64) float64 {
+	switch {
+	case n.Type.IsScan():
+		if n.Type == plan.BitmapHeapScan {
+			return childRows[0] // the bitmap index scan already applied the filter
+		}
+		return e.Oracle.ScanRows(n.Meta.Table, n.Meta.Filters)
+	case n.Type.IsJoin():
+		fk, filtered := e.joinContext(n)
+		sel := e.Oracle.JoinSelectivity(fk, filtered)
+		return math.Max(1, childRows[0]*childRows[1]*sel)
+	}
+	in := childRows[0]
+	switch n.Type {
+	case plan.Aggregate:
+		if n.Meta != nil && len(n.Meta.GroupCols) > 0 {
+			return e.groupRows(n.Meta.GroupCols[0], in)
+		}
+		return 1
+	case plan.GroupAggregate:
+		return e.groupRows(n.Meta.GroupCols[0], in)
+	case plan.Limit:
+		if n.Meta != nil && n.Meta.Limit > 0 {
+			return math.Min(float64(n.Meta.Limit), in)
+		}
+		return in
+	default: // Hash, Sort, Materialize, Gather, Result pass rows through
+		return in
+	}
+}
+
+// groupRows is the true group count: the true NDV of the grouping column
+// capped by the input cardinality.
+func (e *Executor) groupRows(qualified string, in float64) float64 {
+	tn, cn, ok := strings.Cut(qualified, ".")
+	if !ok {
+		return math.Max(1, in/2)
+	}
+	t := e.DB.Table(tn)
+	if t == nil || t.Column(cn) == nil {
+		return math.Max(1, in/2)
+	}
+	return math.Max(1, math.Min(float64(t.Column(cn).NDV), in))
+}
+
+// work computes the node's own true work in cost units, using the machine's
+// true constants and true cardinalities — the same formulas the optimizer
+// used with its believed constants and estimated cardinalities.
+func (e *Executor) work(n *plan.Node, rows float64, childRows []float64) float64 {
+	p := e.Machine.Params
+	switch {
+	case n.Type.IsScan():
+		t := e.DB.Table(n.Meta.Table)
+		tableRows := float64(t.Rows)
+		if n.Type == plan.BitmapHeapScan {
+			return p.ScanCost(n.Type, tableRows, rows, len(n.Meta.Filters))
+		}
+		return p.ScanCost(n.Type, tableRows, rows, len(n.Meta.Filters))
+	case n.Type.IsJoin():
+		return p.JoinCost(n.Type, childRows[0], childRows[1], rows)
+	default:
+		return p.UnaryCost(n.Type, childRows[0], rows)
+	}
+}
+
+// joinContext resolves the foreign key a join node evaluates and the
+// qualified filter columns in its subtree (which drive the deterministic
+// filter/join-key correlation in the oracle).
+func (e *Executor) joinContext(n *plan.Node) (schema.ForeignKey, []string) {
+	lt, _, _ := strings.Cut(n.Meta.JoinLeft, ".")
+	rt, _, _ := strings.Cut(n.Meta.JoinRight, ".")
+	fk, ok := e.DB.FKBetween(lt, rt)
+	if !ok {
+		panic(fmt.Sprintf("executor: join %s=%s has no FK", n.Meta.JoinLeft, n.Meta.JoinRight))
+	}
+	var filtered []string
+	var collect func(m *plan.Node)
+	collect = func(m *plan.Node) {
+		if m.Meta != nil && m.Meta.Table != "" {
+			for _, f := range m.Meta.Filters {
+				filtered = append(filtered, m.Meta.Table+"."+f.Column)
+			}
+		}
+		for _, c := range m.Children {
+			collect(c)
+		}
+	}
+	collect(n)
+	// Deduplicate + sort for stable hashing.
+	seen := map[string]bool{}
+	out := filtered[:0]
+	for _, f := range filtered {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sortStrings(out)
+	return fk, out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

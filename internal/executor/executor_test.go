@@ -1,0 +1,235 @@
+package executor
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dace/internal/optimizer"
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+func labeledPlans(t *testing.T, db *schema.Database, n int, m Machine) []*plan.Plan {
+	t.Helper()
+	pl := optimizer.New(db)
+	ex := New(db, m)
+	var out []*plan.Plan
+	for i, q := range workload.Complex(db, n, 21) {
+		p, err := pl.Plan(q)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if _, err := ex.Run(p, q.ID); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestRunLabelsEveryNode(t *testing.T) {
+	for _, p := range labeledPlans(t, schema.IMDB(), 30, M1()) {
+		for _, n := range p.DFS() {
+			if n.ActualRows <= 0 {
+				t.Fatalf("%s has actual rows %v", n.Type, n.ActualRows)
+			}
+			if n.ActualMS <= 0 {
+				t.Fatalf("%s has actual ms %v", n.Type, n.ActualMS)
+			}
+		}
+	}
+}
+
+func TestInclusiveLatencyMonotoneUpTree(t *testing.T) {
+	for _, p := range labeledPlans(t, schema.IMDB(), 30, M1()) {
+		var walk func(n *plan.Node)
+		walk = func(n *plan.Node) {
+			for _, c := range n.Children {
+				// Gather genuinely speeds up its subtree; elsewhere a parent's
+				// inclusive latency includes its children's.
+				if n.Type != plan.Gather && c.ActualMS > n.ActualMS+1e-9 {
+					t.Fatalf("child %s (%.3fms) exceeds parent %s (%.3fms)", c.Type, c.ActualMS, n.Type, n.ActualMS)
+				}
+				walk(c)
+			}
+		}
+		walk(p.Root)
+	}
+}
+
+func TestLabelsDeterministic(t *testing.T) {
+	db := schema.IMDB()
+	a := labeledPlans(t, db, 5, M1())
+	b := labeledPlans(t, db, 5, M1())
+	for i := range a {
+		if a[i].Root.ActualMS != b[i].Root.ActualMS {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}
+
+func TestMachinesDiffer(t *testing.T) {
+	db := schema.IMDB()
+	a := labeledPlans(t, db, 20, M1())
+	b := labeledPlans(t, db, 20, M2())
+	var ratios []float64
+	for i := range a {
+		ratios = append(ratios, b[i].Root.ActualMS/a[i].Root.ActualMS)
+	}
+	sort.Float64s(ratios)
+	med := ratios[len(ratios)/2]
+	if math.Abs(math.Log(med)) < 0.02 {
+		t.Fatalf("M1 and M2 median latency ratio %v too similar; across-more shift missing", med)
+	}
+}
+
+func TestEstimationErrorGrowsWithJoins(t *testing.T) {
+	// The motivating observation (paper Fig. 4): cardinality error compounds
+	// with plan depth, so optimizer cost becomes less reliable on big plans.
+	db := schema.IMDB()
+	pl := optimizer.New(db)
+	ex := New(db, M1())
+	errByJoins := map[int][]float64{}
+	for _, q := range workload.Complex(db, 300, 99) {
+		p, err := pl.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(p, q.ID); err != nil {
+			t.Fatal(err)
+		}
+		joins := 0
+		var worst float64 = 1
+		for _, n := range p.DFS() {
+			if n.Type.IsJoin() {
+				joins++
+				qe := math.Max(n.EstRows/n.ActualRows, n.ActualRows/n.EstRows)
+				if qe > worst {
+					worst = qe
+				}
+			}
+		}
+		errByJoins[joins] = append(errByJoins[joins], worst)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += math.Log(x)
+		}
+		return s / float64(len(xs))
+	}
+	if len(errByJoins[1]) == 0 || len(errByJoins[3]) == 0 {
+		t.Skip("workload did not produce both 1-join and 3-join queries")
+	}
+	if mean(errByJoins[3]) <= mean(errByJoins[1]) {
+		t.Fatalf("cardinality error does not compound: 1-join %.3f vs 3-join %.3f",
+			mean(errByJoins[1]), mean(errByJoins[3]))
+	}
+}
+
+func TestOptimizerCostCorrelatesWithLatency(t *testing.T) {
+	// EDQO must be a *correction* problem: est cost carries real signal
+	// (rank correlation well above zero) but is far from perfect.
+	db := schema.IMDB()
+	plans := labeledPlans(t, db, 150, M1())
+	var est, act []float64
+	for _, p := range plans {
+		est = append(est, math.Log(p.Root.EstCost))
+		act = append(act, math.Log(p.Root.ActualMS))
+	}
+	r := spearman(est, act)
+	if r < 0.5 {
+		t.Fatalf("est cost vs latency Spearman %.3f too weak; labels unlearnable", r)
+	}
+	if r > 0.999 {
+		t.Fatalf("est cost vs latency Spearman %.3f suspiciously perfect; no EDQO to learn", r)
+	}
+}
+
+func TestGroupRowsFallbacks(t *testing.T) {
+	db := schema.IMDB()
+	ex := New(db, M1())
+	if got := ex.groupRows("title.kind_id", 1000); got != 7 {
+		t.Fatalf("groupRows = %v, want 7 (NDV cap)", got)
+	}
+	if got := ex.groupRows("title.kind_id", 3); got != 3 {
+		t.Fatalf("groupRows = %v, want 3 (input cap)", got)
+	}
+	if got := ex.groupRows("garbage", 10); got <= 0 {
+		t.Fatalf("groupRows fallback = %v", got)
+	}
+}
+
+func TestRunRejectsWrongDatabase(t *testing.T) {
+	db := schema.IMDB()
+	other := schema.TPCH(1)
+	pl := optimizer.New(db)
+	q := workload.Complex(db, 1, 1)[0]
+	p, err := pl.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(other, M1()).Run(p, q.ID); err == nil {
+		t.Fatal("expected database mismatch error")
+	}
+}
+
+func TestDataDriftChangesLatencies(t *testing.T) {
+	// The Fig. 7 mechanism: the same workload costs more on a scaled-up DB.
+	q := workload.Complex(schema.TPCH(1), 20, 77)
+	lat := func(scale float64) float64 {
+		db := schema.TPCH(scale)
+		pl := optimizer.New(db)
+		ex := New(db, M1())
+		var total float64
+		for _, query := range q {
+			p, err := pl.Plan(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := ex.Run(p, query.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += ms
+		}
+		return total
+	}
+	if l1, l10 := lat(1), lat(10); l10 < 2*l1 {
+		t.Fatalf("10× data growth only changed total latency %v→%v", l1, l10)
+	}
+}
+
+// spearman computes the Spearman rank correlation of two equal-length series.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var num, da, db float64
+	for i := range ra {
+		num += (ra[i] - ma) * (rb[i] - mb)
+		da += (ra[i] - ma) * (ra[i] - ma)
+		db += (rb[i] - mb) * (rb[i] - mb)
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float64, len(x))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dace/internal/workload"
+)
+
+// quickLab builds a lab at test scale writing into a buffer.
+func quickLab() (*Lab, *bytes.Buffer) {
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	return NewLab(cfg), &buf
+}
+
+func TestLabWorkloadCachingAndShape(t *testing.T) {
+	l, _ := quickLab()
+	a := l.Workload("imdb", "M1")
+	b := l.Workload("imdb", "M1")
+	if len(a) != l.Cfg.QueriesPerDB {
+		t.Fatalf("workload size %d, want %d", len(a), l.Cfg.QueriesPerDB)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("workload not cached")
+	}
+	m2 := l.Workload("imdb", "M2")
+	if a[0].Plan.Root.ActualMS == m2[0].Plan.Root.ActualMS {
+		t.Fatal("M1 and M2 workloads should have different labels")
+	}
+}
+
+func TestTrainingDBsLeaveOneOut(t *testing.T) {
+	l, _ := quickLab()
+	names := l.TrainingDBs("imdb", 19)
+	if len(names) != 19 {
+		t.Fatalf("got %d training DBs, want 19", len(names))
+	}
+	for _, n := range names {
+		if n == "imdb" {
+			t.Fatal("excluded database included")
+		}
+	}
+	if got := l.TrainingDBs("imdb", 3); len(got) != 3 {
+		t.Fatalf("capped selection returned %d", len(got))
+	}
+	// Deterministic.
+	again := l.TrainingDBs("imdb", 3)
+	for i := range again {
+		if got := l.TrainingDBs("imdb", 3); got[i] != again[i] {
+			t.Fatal("training DB selection not deterministic")
+		}
+	}
+}
+
+func TestW3SplitsDistinctAndSized(t *testing.T) {
+	l, _ := quickLab()
+	syn := l.W3Split(workload.Synthetic)
+	job := l.W3Split(workload.JOBLight)
+	if len(syn) != l.Cfg.W3Synthetic || len(job) != l.Cfg.W3JOBLight {
+		t.Fatalf("split sizes %d/%d", len(syn), len(job))
+	}
+	if syn[0].Query.SQL() == job[0].Query.SQL() {
+		t.Fatal("splits look identical")
+	}
+}
+
+func TestFig4ErrorGrowsWithPlanSize(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig4()
+	if len(res.Buckets) < 3 {
+		t.Fatalf("too few buckets: %d", len(res.Buckets))
+	}
+	first, last := res.Buckets[0], res.Buckets[len(res.Buckets)-1]
+	if last.Mean <= first.Mean {
+		t.Fatalf("Zero-Shot error should grow with plan size: %v → %v", first.Mean, last.Mean)
+	}
+}
+
+func TestFig5DACECompetitiveAcrossDatabases(t *testing.T) {
+	l, buf := quickLab()
+	res := l.Fig5([]string{"imdb", "baseball", "walmart", "credit"})
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	if res.Wins < len(res.Rows)/2 {
+		t.Fatalf("DACE wins only %d/%d databases vs Zero-Shot", res.Wins, len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if math.IsNaN(r.DACE) || math.IsNaN(r.DACELoRA) {
+			t.Fatal("NaN medians")
+		}
+		if r.DACE > 5 {
+			t.Fatalf("DACE median on %s is %v; across-database accuracy collapsed", r.DB, r.DACE)
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Fatal("missing printed output")
+	}
+}
+
+func TestTable1ShapesHold(t *testing.T) {
+	l, buf := quickLab()
+	res := l.Table1()
+	if len(res.Order) != 8 {
+		t.Fatalf("Table I should have 8 estimators, got %d", len(res.Order))
+	}
+	for _, split := range W3Splits() {
+		sums := res.Summaries[split]
+		dace := sums["DACE"]
+		pg := sums["PostgreSQL"]
+		if dace.Median > pg.Median*1.5 {
+			t.Fatalf("%s: DACE median %v should be competitive with PostgreSQL %v", split, dace.Median, pg.Median)
+		}
+		// The paper's tail story: DACE's max q-error is far below the WDMs'.
+		if dace.Max > sums["MSCN"].Max*2 {
+			t.Fatalf("%s: DACE max %v worse than MSCN max %v", split, dace.Max, sums["MSCN"].Max)
+		}
+		lora := sums["DACE-LoRA"]
+		if lora.Median > dace.Median*1.6 {
+			t.Fatalf("%s: LoRA fine-tuning should not hurt much (%v vs %v)", split, lora.Median, dace.Median)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "JOB-light") || !strings.Contains(out, "DACE-LoRA") {
+		t.Fatal("Table I output incomplete")
+	}
+}
+
+func TestFig6EncoderIntegrationHelps(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig6()
+	// The paper's Fig. 6 claim is about the tails: the plain WDMs' max
+	// q-error dwarfs the DACE-integrated variants'.
+	if res.DACEMSCN.Max > res.MSCN.Max {
+		t.Fatalf("DACE-MSCN max %v should not exceed MSCN max %v", res.DACEMSCN.Max, res.MSCN.Max)
+	}
+	if res.DACEMSCN.Mean > res.MSCN.Mean {
+		t.Fatalf("DACE-MSCN mean %v should not exceed MSCN mean %v", res.DACEMSCN.Mean, res.MSCN.Mean)
+	}
+	if res.DACEQueryFormer.Max > res.QueryFormer.Max*1.2 {
+		t.Fatalf("DACE-QueryFormer max %v much worse than QueryFormer %v", res.DACEQueryFormer.Max, res.QueryFormer.Max)
+	}
+}
+
+func TestTable2EfficiencyShapes(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Table2()
+	byName := map[string]EfficiencyRow{}
+	for _, r := range res.Rows {
+		byName[r.Model] = r
+	}
+	dace := byName["DACE"]
+	if dace.SizeMB <= 0 || dace.SizeMB > 0.25 {
+		t.Fatalf("DACE size %v MB", dace.SizeMB)
+	}
+	for _, name := range []string{"MSCN", "QPPNet", "TPool", "QueryFormer", "Zero-Shot"} {
+		r := byName[name]
+		if r.SizeMB < dace.SizeMB*2 {
+			t.Fatalf("%s (%v MB) should dwarf DACE (%v MB)", name, r.SizeMB, dace.SizeMB)
+		}
+		if r.TrainQPS <= 0 || r.InferenceQPS <= 0 {
+			t.Fatalf("%s has non-positive throughput", name)
+		}
+		if dace.TrainQPS < r.TrainQPS {
+			t.Fatalf("DACE trains slower (%v q/s) than %s (%v q/s)", dace.TrainQPS, name, r.TrainQPS)
+		}
+		if dace.InferenceQPS < r.InferenceQPS {
+			t.Fatalf("DACE infers slower than %s", name)
+		}
+	}
+	if res.LoRASpeedup <= 1 {
+		t.Fatalf("LoRA fine-tuning should beat full-training throughput, got %vx", res.LoRASpeedup)
+	}
+	if byName["DACE-LoRA"].SizeMB >= byName["MSCN"].SizeMB {
+		t.Fatal("LoRA adapter size should be far below baseline model sizes")
+	}
+}
+
+func TestFig7WDMsDegradeUnderDrift(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig7()
+	first := func(name string) Fig7Point { return res.Curves[name][0] }
+	last := func(name string) Fig7Point { c := res.Curves[name]; return c[len(c)-1] }
+	// WDMs must degrade under drift far more than DACE.
+	mscnDeg := last("MSCN").Median / first("MSCN").Median
+	daceDeg := last("DACE").Median / first("DACE").Median
+	if mscnDeg < daceDeg {
+		t.Fatalf("MSCN degradation %vx should exceed DACE %vx", mscnDeg, daceDeg)
+	}
+	// DACE is the most accurate at the largest scale.
+	for _, name := range []string{"MSCN", "QueryFormer", "PostgreSQL"} {
+		if last("DACE").Median > last(name).Median {
+			t.Fatalf("DACE (%v) should beat %s (%v) at max drift", last("DACE").Median, name, last(name).Median)
+		}
+	}
+}
+
+func TestFig8DACEStabilizesEarly(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig8([]int{1, 3, 6})
+	// With 3 training DBs DACE should already be within reach of its 6-DB
+	// accuracy on JOB-light (the "3-5 databases suffice" claim, scaled).
+	d3 := res.DACE[1].Median[workload.JOBLight]
+	d6 := res.DACE[2].Median[workload.JOBLight]
+	if d3 > d6*2.5 {
+		t.Fatalf("DACE with 3 DBs (%v) far from 6-DB accuracy (%v)", d3, d6)
+	}
+	for i := range res.DACE {
+		if math.IsNaN(res.DACE[i].Median[workload.Synthetic]) || math.IsNaN(res.ZeroShot[i].Median[workload.Synthetic]) {
+			t.Fatal("NaN medians")
+		}
+	}
+}
+
+func TestFig9EmbeddingHelpsColdStart(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig9([]int{60, 150})
+	cold := res.Points[0]
+	if cold.DACEMSCN.Median > cold.MSCN.Median {
+		t.Fatalf("at %d queries DACE-MSCN (%v) should beat MSCN (%v)",
+			cold.TrainQueries, cold.DACEMSCN.Median, cold.MSCN.Median)
+	}
+}
+
+func TestFig10FullDACEWins(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig10()
+	for _, split := range W3Splits() {
+		full := res.Median["DACE"][split]
+		noLA := res.Median["DACE w/o LA"][split]
+		if full > noLA*1.15 {
+			t.Fatalf("%s: full DACE (%v) should not lose to w/o LA (%v)", split, full, noLA)
+		}
+	}
+	// Geometric mean across splits: full DACE is the best variant overall.
+	gm := func(name string) float64 {
+		var vals []float64
+		for _, split := range W3Splits() {
+			vals = append(vals, res.Median[name][split])
+		}
+		return geoMean(vals)
+	}
+	full := gm("DACE")
+	for _, v := range []string{"DACE w/o TA", "DACE w/o LA"} {
+		if full > gm(v)*1.05 {
+			t.Fatalf("full DACE (%v) loses to %s (%v)", full, v, gm(v))
+		}
+	}
+}
+
+func TestFig11LossAdjusterFlattensCurve(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig11()
+	if len(res.DACE) < 3 {
+		t.Fatalf("too few buckets")
+	}
+	// Growth of median q-error from the smallest to the largest plans.
+	growth := func(bs []NodeBucket) float64 { return bs[len(bs)-1].Median / bs[0].Median }
+	if growth(res.DACE) > growth(res.NoLA)*1.25 {
+		t.Fatalf("DACE curve (%vx) grows faster than w/o LA (%vx)", growth(res.DACE), growth(res.NoLA))
+	}
+}
+
+func TestFig12ActualCardinalityHelpsWhenDataIsScarce(t *testing.T) {
+	l, _ := quickLab()
+	res := l.Fig12([]int{1, 3})
+	// With a single training database, the oracle-cardinality variant should
+	// be at least competitive on JOB-light.
+	d1 := res.DACE[0].Median[workload.JOBLight]
+	a1 := res.DACEA[0].Median[workload.JOBLight]
+	if a1 > d1*1.5 {
+		t.Fatalf("DACE-A (%v) should not be much worse than DACE (%v) at 1 DB", a1, d1)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"dace/internal/core"
+	"dace/internal/workload"
+)
+
+// Fig10Result is the ablation study: full DACE vs without tree attention
+// (w/o TA), without sub-plan learning (w/o SP, α=0), and without the loss
+// adjuster (w/o LA, α=1).
+type Fig10Result struct {
+	Median map[string]map[workload.MSCNSplit]float64
+}
+
+// Fig10 reproduces the ablation figure on the Workload-3 splits with all
+// variants trained across databases (IMDB excluded).
+func (l *Lab) Fig10() Fig10Result {
+	train := l.AcrossSamples(l.TrainingDBs("imdb", l.Cfg.TrainDBs), "M1")
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"DACE", nil},
+		{"DACE w/o TA", func(c *core.Config) { c.TreeAttention = false }},
+		{"DACE w/o SP", func(c *core.Config) { c.Alpha = 0 }},
+		{"DACE w/o LA", func(c *core.Config) { c.Alpha = 1 }},
+	}
+	res := Fig10Result{Median: map[string]map[workload.MSCNSplit]float64{}}
+	for _, v := range variants {
+		m := l.TrainDACE(train, v.mutate)
+		res.Median[v.name] = map[workload.MSCNSplit]float64{}
+		for _, split := range W3Splits() {
+			res.Median[v.name][split] = Evaluate(&DACEEstimator{M: m, Label: v.name}, l.W3Split(split)).Median
+		}
+	}
+	l.printf("Fig. 10 — ablation (median q-error)\n%-14s", "variant")
+	for _, split := range W3Splits() {
+		l.printf(" %12s", split)
+	}
+	l.printf("\n")
+	for _, v := range variants {
+		l.printf("%-14s", v.name)
+		for _, split := range W3Splits() {
+			l.printf(" %12.2f", res.Median[v.name][split])
+		}
+		l.printf("\n")
+	}
+	l.printf("\n")
+	return res
+}
+
+// Fig11Result compares DACE and DACE w/o LA across plan sizes.
+type Fig11Result struct {
+	DACE, NoLA []NodeBucket
+}
+
+// Fig11 reproduces Fig. 11: q-error by plan node count on the held-out
+// IMDB complex workload. The paper's claim: without the loss adjuster,
+// error grows with plan size; with it, DACE is nearly flat.
+func (l *Lab) Fig11() Fig11Result {
+	train := l.AcrossSamples(l.TrainingDBs("imdb", l.Cfg.TrainDBs), "M1")
+	test := l.Workload("imdb", "M1")
+	bounds := fig4Bounds
+
+	full := l.TrainDACE(train, nil)
+	noLA := l.TrainDACE(train, func(c *core.Config) { c.Alpha = 1 })
+
+	res := Fig11Result{
+		DACE: nodeBuckets(&DACEEstimator{M: full}, test, bounds),
+		NoLA: nodeBuckets(&DACEEstimator{M: noLA, Label: "DACE w/o LA"}, test, bounds),
+	}
+	l.printf("Fig. 11 — q-error by plan node count (IMDB held out)\n")
+	l.printf("%-10s %16s %16s\n", "nodes ≤", "DACE med", "w/o LA med")
+	for i := range res.DACE {
+		l.printf("%-10d %16.2f %16.2f\n", res.DACE[i].MaxNodes, res.DACE[i].Median, res.NoLA[i].Median)
+	}
+	l.printf("\n")
+	return res
+}
+
+// Fig12Result compares DACE with DACE-A (true-cardinality input) as the
+// number of training databases grows.
+type Fig12Result struct {
+	DACE, DACEA []Fig8Point
+}
+
+// Fig12 reproduces Fig. 12: DACE-A replaces the optimizer's estimated
+// cardinalities with true cardinalities — an oracle unavailable in
+// practice. The claim: DACE-A is better at low database counts, and DACE
+// approaches it as general knowledge accumulates.
+func (l *Lab) Fig12(counts []int) Fig12Result {
+	if counts == nil {
+		counts = []int{1, 3, 5, 10, 15, 19}
+	}
+	var res Fig12Result
+	for _, k := range counts {
+		train := l.AcrossSamples(l.TrainingDBs("imdb", k), "M1")
+		dace := l.TrainDACE(train, nil)
+		daceA := l.TrainDACE(train, func(c *core.Config) { c.ActualCardInput = true })
+		dp := Fig8Point{TrainDBs: k, Median: map[workload.MSCNSplit]float64{}}
+		ap := Fig8Point{TrainDBs: k, Median: map[workload.MSCNSplit]float64{}}
+		for _, split := range W3Splits() {
+			samples := l.W3Split(split)
+			dp.Median[split] = Evaluate(&DACEEstimator{M: dace}, samples).Median
+			ap.Median[split] = Evaluate(&DACEEstimator{M: daceA, Label: "DACE-A"}, samples).Median
+		}
+		res.DACE = append(res.DACE, dp)
+		res.DACEA = append(res.DACEA, ap)
+	}
+	l.printf("Fig. 12 — DACE vs DACE-A (true cardinalities) by training databases\n")
+	l.printf("%-10s %-10s", "#DBs", "model")
+	for _, split := range W3Splits() {
+		l.printf(" %12s", split)
+	}
+	l.printf("\n")
+	for i := range res.DACE {
+		l.printf("%-10d %-10s", res.DACE[i].TrainDBs, "DACE")
+		for _, split := range W3Splits() {
+			l.printf(" %12.2f", res.DACE[i].Median[split])
+		}
+		l.printf("\n%-10s %-10s", "", "DACE-A")
+		for _, split := range W3Splits() {
+			l.printf(" %12.2f", res.DACEA[i].Median[split])
+		}
+		l.printf("\n")
+	}
+	l.printf("\n")
+	return res
+}

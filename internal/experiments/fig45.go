@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"sort"
+
+	"dace/internal/baselines"
+	"dace/internal/dataset"
+	"dace/internal/metrics"
+)
+
+// fig4Bounds bucket plans by node count, starting where join plans begin
+// (the paper's Fig. 4/11 x-axes cover roughly 10–25 nodes).
+var fig4Bounds = []int{8, 11, 14, 17, 1000}
+
+// NodeBucket is one point of a q-error-by-plan-size curve.
+type NodeBucket struct {
+	MaxNodes int // bucket upper bound (inclusive)
+	Mean     float64
+	Median   float64
+	N        int
+}
+
+// fig4MinNodes drops trivial plans (single scans, point lookups) from the
+// by-plan-size curves, matching the paper's x-axis which starts around 10.
+const fig4MinNodes = 6
+
+// nodeBuckets groups samples by plan node count and summarizes the q-error
+// of estimator e in each group. Plans below fig4MinNodes are excluded.
+func nodeBuckets(e baselines.Estimator, samples []dataset.Sample, bounds []int) []NodeBucket {
+	group := make(map[int][]float64)
+	for _, s := range samples {
+		n := s.Plan.NodeCount()
+		if n < fig4MinNodes {
+			continue
+		}
+		b := bounds[len(bounds)-1]
+		for _, ub := range bounds {
+			if n <= ub {
+				b = ub
+				break
+			}
+		}
+		group[b] = append(group[b], metrics.QError(e.Predict(s), s.Plan.Root.ActualMS))
+	}
+	var out []NodeBucket
+	for _, ub := range bounds {
+		qs := group[ub]
+		if len(qs) == 0 {
+			continue
+		}
+		sum := metrics.Summarize(qs)
+		out = append(out, NodeBucket{MaxNodes: ub, Mean: sum.Mean, Median: sum.Median, N: len(qs)})
+	}
+	return out
+}
+
+// Fig4Result holds the motivation experiment: Zero-Shot's mean q-error
+// growing with plan size on unseen databases.
+type Fig4Result struct {
+	TestDBs []string
+	Buckets []NodeBucket
+}
+
+// Fig4 reproduces the paper's Fig. 4: train Zero-Shot across databases,
+// test on held-out databases, bucket q-error by node count. The paper runs
+// full 20-way leave-one-out; the scale here is Config-bound.
+func (l *Lab) Fig4() Fig4Result {
+	testDBs := []string{"imdb", "baseball"}
+	res := Fig4Result{TestDBs: testDBs}
+	// Buckets start at 8 nodes, as in the paper's Fig. 4 (x-axis ≈ 10–25):
+	// the claim is about the error *compounding* in join-heavy plans.
+	bounds := fig4Bounds
+	collected := map[int][]float64{}
+	for _, test := range testDBs {
+		zs := baselines.NewZeroShot(l.Env)
+		zs.Epochs = l.Cfg.Epochs
+		train := l.AcrossSamples(l.TrainingDBs(test, l.Cfg.TrainDBs), "M1")
+		if err := zs.Train(train); err != nil {
+			panic(err)
+		}
+		for _, b := range nodeBuckets(zs, l.Workload(test, "M1"), bounds) {
+			collected[b.MaxNodes] = append(collected[b.MaxNodes], b.Mean)
+		}
+	}
+	for _, ub := range bounds {
+		if vals, ok := collected[ub]; ok {
+			res.Buckets = append(res.Buckets, NodeBucket{MaxNodes: ub, Mean: geoMean(vals), N: len(vals)})
+		}
+	}
+	l.printf("Fig. 4 — Zero-Shot mean q-error by plan node count (unseen databases)\n")
+	l.printf("%-12s %10s\n", "nodes ≤", "mean qerr")
+	for _, b := range res.Buckets {
+		l.printf("%-12d %10.2f\n", b.MaxNodes, b.Mean)
+	}
+	l.printf("\n")
+	return res
+}
+
+// Fig5Row is one database's leave-one-out result.
+type Fig5Row struct {
+	DB            string
+	DACE          float64 // median q-error, workload 1
+	ZeroShot      float64 // median q-error, workload 1
+	DACELoRA      float64 // median q-error, workload 2 after LoRA fine-tuning
+}
+
+// Fig5Result is the across-database accuracy figure.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// Wins counts databases where DACE's median beats Zero-Shot's.
+	Wins int
+}
+
+// Fig5 reproduces Fig. 5: leave-one-out across the benchmark. For each test
+// database, DACE and Zero-Shot train on other databases' workloads (M1);
+// DACE is then LoRA-fine-tuned on the *other* databases' M2 workloads and
+// tested on the held-out database's M2 workload (across-more).
+//
+// testDBs limits which databases are held out (nil = all 20).
+func (l *Lab) Fig5(testDBs []string) Fig5Result {
+	if testDBs == nil {
+		for _, db := range l.DBs {
+			testDBs = append(testDBs, db.Name)
+		}
+	}
+	sort.Strings(testDBs)
+	var res Fig5Result
+	for _, test := range testDBs {
+		trainDBs := l.TrainingDBs(test, l.Cfg.TrainDBs)
+		trainM1 := l.AcrossSamples(trainDBs, "M1")
+
+		dace := l.TrainDACE(trainM1, nil)
+		zs := baselines.NewZeroShot(l.Env)
+		zs.Epochs = l.Cfg.Epochs
+		if err := zs.Train(trainM1); err != nil {
+			panic(err)
+		}
+
+		testM1 := l.Workload(test, "M1")
+		row := Fig5Row{
+			DB:       test,
+			DACE:     Evaluate(&DACEEstimator{M: dace}, testM1).Median,
+			ZeroShot: Evaluate(zs, testM1).Median,
+		}
+
+		// Across-more: fine-tune on the training DBs' M2 labels, test on the
+		// held-out DB's M2 labels.
+		trainM2 := l.AcrossSamples(trainDBs, "M2")
+		dace.FineTuneLoRA(dataset.Plans(trainM2), 2e-3, l.Cfg.DACEEpochs)
+		row.DACELoRA = Evaluate(&DACEEstimator{M: dace, Label: "DACE-LoRA"}, l.Workload(test, "M2")).Median
+
+		if row.DACE < row.ZeroShot {
+			res.Wins++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	l.printf("Fig. 5 — across-database median q-error (leave-one-out)\n")
+	l.printf("%-16s %10s %10s %14s\n", "database", "DACE", "Zero-Shot", "DACE-LoRA(M2)")
+	for _, r := range res.Rows {
+		l.printf("%-16s %10.2f %10.2f %14.2f\n", r.DB, r.DACE, r.ZeroShot, r.DACELoRA)
+	}
+	l.printf("DACE beats Zero-Shot on %d/%d databases\n\n", res.Wins, len(res.Rows))
+	return res
+}

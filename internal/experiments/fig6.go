@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"dace/internal/baselines"
+	"dace/internal/dataset"
+	"dace/internal/metrics"
+	"dace/internal/workload"
+)
+
+// Fig6Result compares WDMs with and without DACE's pre-trained embeddings
+// on JOB-light.
+type Fig6Result struct {
+	MSCN, DACEMSCN               metrics.Summary
+	QueryFormer, DACEQueryFormer metrics.Summary
+}
+
+// Fig6 reproduces Fig. 6 (knowledge integration): DACE, pre-trained across
+// databases, acts as an encoder; its per-plan embedding is concatenated
+// into MSCN's and QueryFormer's final layers (Eq. 9). Both pairs train on
+// the same Workload-3 pool and are evaluated on JOB-light.
+func (l *Lab) Fig6() Fig6Result {
+	pool := l.W3TrainingPool()
+	jobLight := l.W3Split(workload.JOBLight)
+
+	dace := l.TrainDACE(l.AcrossSamples(l.TrainingDBs("imdb", l.Cfg.TrainDBs), "M1"), nil)
+	embed := func(s dataset.Sample) []float64 { return dace.Embed(s.Plan) }
+
+	train := func(e baselines.Estimator) metrics.Summary {
+		if err := e.Train(pool); err != nil {
+			panic(err)
+		}
+		return Evaluate(e, jobLight)
+	}
+
+	res := Fig6Result{
+		MSCN:            train(l.tunedMSCN()),
+		DACEMSCN:        train(l.tunedMSCN().WithEmbedding(dace.EmbedDim(), embed)),
+		QueryFormer:     train(l.tunedQueryFormer()),
+		DACEQueryFormer: train(l.tunedQueryFormer().WithEmbedding(dace.EmbedDim(), embed)),
+	}
+
+	l.printf("Fig. 6 — DACE as pre-trained encoder (JOB-light)\n")
+	l.printf("%s\n", metrics.Header("model"))
+	l.printf("%s\n", res.MSCN.Row("MSCN"))
+	l.printf("%s\n", res.DACEMSCN.Row("DACE-MSCN"))
+	l.printf("%s\n", res.QueryFormer.Row("QueryFormer"))
+	l.printf("%s\n\n", res.DACEQueryFormer.Row("DACE-QueryFormer"))
+	return res
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dace/internal/baselines"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+// Fig7Point is one model's accuracy at one TPC-H scale.
+type Fig7Point struct {
+	Scale  float64
+	Median float64
+	P95    float64
+}
+
+// Fig7Result maps model name to its drift curve.
+type Fig7Result struct {
+	Scales []float64
+	Curves map[string][]Fig7Point
+}
+
+// Fig7 reproduces the data-drift experiment: ADMs (DACE, Zero-Shot) train
+// on other databases; WDMs (MSCN, QueryFormer) and the PostgreSQL
+// calibration train on TPC-H at scale 1. All models are then evaluated on
+// the *same query templates* executed against progressively larger TPC-H
+// instances — data drift without retraining.
+func (l *Lab) Fig7() Fig7Result {
+	scales := []float64{1, 5, 10, 50, 100}
+	res := Fig7Result{Scales: scales, Curves: map[string][]Fig7Point{}}
+
+	// Within-database training data: TPC-H scale 1.
+	base := schema.TPCH(1)
+	baseQs := workload.Complex(base, l.Cfg.QueriesPerDB*2, int64(schema.Hash64("fig7-train")))
+	baseSamples, err := dataset.Collect(base, baseQs, executor.M1())
+	if err != nil {
+		panic(err)
+	}
+	// The drift test re-executes a held-out template set at every scale.
+	testQs := workload.Complex(base, l.Cfg.QueriesPerDB, int64(schema.Hash64("fig7-test")))
+
+	// WDMs need the scaled catalogs visible for feature lookup; keep the
+	// scale-1 view (that is the point: their world model goes stale).
+	env := baselines.NewEnv(append([]*schema.Database{base}, l.DBs...)...)
+
+	pg := baselines.NewPostgreSQL()
+	mscn := baselines.NewMSCN(env)
+	mscn.Epochs = l.Cfg.Epochs
+	qf := baselines.NewQueryFormer(env)
+	qf.Epochs = l.Cfg.Epochs
+	for _, e := range []baselines.Estimator{pg, mscn, qf} {
+		if err := e.Train(baseSamples); err != nil {
+			panic(err)
+		}
+	}
+
+	acrossTrain := l.AcrossSamples(l.TrainingDBs("tpc_h", l.Cfg.TrainDBs), "M1")
+	dace := l.TrainDACE(acrossTrain, nil)
+	zs := l.tunedZeroShot()
+	if err := zs.Train(acrossTrain); err != nil {
+		panic(err)
+	}
+
+	estimators := []baselines.Estimator{
+		pg, mscn, qf, zs, &DACEEstimator{M: dace},
+	}
+
+	for _, scale := range scales {
+		db := schema.TPCH(scale)
+		samples, err := dataset.Collect(db, testQs, executor.M1())
+		if err != nil {
+			panic(fmt.Sprintf("fig7 scale %g: %v", scale, err))
+		}
+		for _, e := range estimators {
+			s := Evaluate(e, samples)
+			res.Curves[e.Name()] = append(res.Curves[e.Name()], Fig7Point{Scale: scale, Median: s.Median, P95: s.P95})
+		}
+	}
+
+	l.printf("Fig. 7 — data drift on TPC-H (median q-error | 95th)\n")
+	l.printf("%-18s", "model")
+	for _, s := range scales {
+		l.printf(" %14s", fmt.Sprintf("scale %g", s))
+	}
+	l.printf("\n")
+	for _, e := range estimators {
+		l.printf("%-18s", e.Name())
+		for _, p := range res.Curves[e.Name()] {
+			l.printf(" %6.2f | %5.2f", p.Median, p.P95)
+		}
+		l.printf("\n")
+	}
+	l.printf("\n")
+	return res
+}

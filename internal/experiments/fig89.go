@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"dace/internal/baselines"
+	"dace/internal/dataset"
+	"dace/internal/metrics"
+	"dace/internal/workload"
+)
+
+// Fig8Point is median q-error (per split) after training on k databases.
+type Fig8Point struct {
+	TrainDBs int
+	Median   map[workload.MSCNSplit]float64
+}
+
+// Fig8Result holds the training-overhead curves for DACE and Zero-Shot.
+type Fig8Result struct {
+	DACE, ZeroShot []Fig8Point
+}
+
+// Fig8 reproduces Fig. 8: accuracy as a function of the number of training
+// databases (excluding IMDB), evaluated on the Workload-3 splits. The
+// paper's claim: DACE stabilizes with 3–5 databases, Zero-Shot needs 10–15.
+func (l *Lab) Fig8(counts []int) Fig8Result {
+	if counts == nil {
+		counts = []int{1, 3, 5, 10, 15, 19}
+	}
+	var res Fig8Result
+	for _, k := range counts {
+		train := l.AcrossSamples(l.TrainingDBs("imdb", k), "M1")
+
+		dace := l.TrainDACE(train, nil)
+		zs := l.tunedZeroShot()
+		if err := zs.Train(train); err != nil {
+			panic(err)
+		}
+
+		dp := Fig8Point{TrainDBs: k, Median: map[workload.MSCNSplit]float64{}}
+		zp := Fig8Point{TrainDBs: k, Median: map[workload.MSCNSplit]float64{}}
+		for _, split := range W3Splits() {
+			samples := l.W3Split(split)
+			dp.Median[split] = Evaluate(&DACEEstimator{M: dace}, samples).Median
+			zp.Median[split] = Evaluate(zs, samples).Median
+		}
+		res.DACE = append(res.DACE, dp)
+		res.ZeroShot = append(res.ZeroShot, zp)
+	}
+
+	l.printf("Fig. 8 — median q-error by number of training databases\n")
+	l.printf("%-10s %-12s", "#DBs", "model")
+	for _, split := range W3Splits() {
+		l.printf(" %12s", split)
+	}
+	l.printf("\n")
+	for i := range res.DACE {
+		l.printf("%-10d %-12s", res.DACE[i].TrainDBs, "DACE")
+		for _, split := range W3Splits() {
+			l.printf(" %12.2f", res.DACE[i].Median[split])
+		}
+		l.printf("\n%-10s %-12s", "", "Zero-Shot")
+		for _, split := range W3Splits() {
+			l.printf(" %12.2f", res.ZeroShot[i].Median[split])
+		}
+		l.printf("\n")
+	}
+	l.printf("\n")
+	return res
+}
+
+// Fig9Point is MSCN accuracy at one training-set size.
+type Fig9Point struct {
+	TrainQueries int
+	MSCN         metrics.Summary
+	DACEMSCN     metrics.Summary
+}
+
+// Fig9Result holds the cold-start experiment plus the PostgreSQL reference.
+type Fig9Result struct {
+	Points     []Fig9Point
+	PostgreSQL metrics.Summary
+}
+
+// Fig9 reproduces Fig. 9 (cold start): MSCN vs DACE-MSCN trained on
+// progressively more queries, against the PostgreSQL reference, evaluated
+// on JOB-light. The paper's claim: with DACE's embedding, MSCN beats
+// PostgreSQL from ~100 training queries; alone it needs thousands.
+func (l *Lab) Fig9(sizes []int) Fig9Result {
+	pool := l.W3TrainingPool()
+	test := l.W3Split(workload.JOBLight)
+	if sizes == nil {
+		sizes = []int{100, 300, len(pool)}
+	}
+
+	dace := l.TrainDACE(l.AcrossSamples(l.TrainingDBs("imdb", l.Cfg.TrainDBs), "M1"), nil)
+	embed := func(s dataset.Sample) []float64 { return dace.Embed(s.Plan) }
+
+	pg := baselines.NewPostgreSQL()
+	if err := pg.Train(pool); err != nil {
+		panic(err)
+	}
+	res := Fig9Result{PostgreSQL: Evaluate(pg, test)}
+
+	seen := map[int]bool{}
+	for _, n := range sizes {
+		if n > len(pool) {
+			n = len(pool)
+		}
+		if seen[n] {
+			continue // sizes above the pool cap collapse to the same point
+		}
+		seen[n] = true
+		sub := pool[:n]
+		plain := l.tunedMSCN()
+		if err := plain.Train(sub); err != nil {
+			panic(err)
+		}
+		fused := l.tunedMSCN().WithEmbedding(dace.EmbedDim(), embed)
+		if err := fused.Train(sub); err != nil {
+			panic(err)
+		}
+		res.Points = append(res.Points, Fig9Point{
+			TrainQueries: n,
+			MSCN:         Evaluate(plain, test),
+			DACEMSCN:     Evaluate(fused, test),
+		})
+	}
+
+	l.printf("Fig. 9 — cold start: MSCN vs DACE-MSCN by training queries (JOB-light)\n")
+	l.printf("%-14s %16s %16s\n", "#queries", "MSCN med|95th", "DACE-MSCN med|95th")
+	for _, p := range res.Points {
+		l.printf("%-14d %8.2f|%6.2f %10.2f|%6.2f\n",
+			p.TrainQueries, p.MSCN.Median, p.MSCN.P95, p.DACEMSCN.Median, p.DACEMSCN.P95)
+	}
+	l.printf("%-14s %8.2f|%6.2f\n\n", "PostgreSQL", res.PostgreSQL.Median, res.PostgreSQL.P95)
+	return res
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"dace/internal/baselines"
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/metrics"
+	"dace/internal/workload"
+)
+
+// Table1Result holds per-split q-error summaries per estimator, in the
+// paper's row order.
+type Table1Result struct {
+	Order     []string
+	Summaries map[workload.MSCNSplit]map[string]metrics.Summary
+	// DACE is returned for reuse (Fig. 6 integrates its embeddings).
+	DACE *core.Model
+}
+
+// Table1 reproduces Table I: Workload 3 (MSCN benchmark on IMDB). The WDMs
+// (MSCN, QPPNet, TPool, QueryFormer) and the PostgreSQL calibration train
+// on the IMDB pool; the ADMs (Zero-Shot, DACE) train on other databases and
+// never see IMDB. DACE-LoRA additionally fine-tunes DACE's adapters on the
+// IMDB pool (the paper's instance-optimization-by-fine-tuning result).
+func (l *Lab) Table1() Table1Result {
+	pool := l.W3TrainingPool()
+	acrossTrain := l.AcrossSamples(l.TrainingDBs("imdb", l.Cfg.TrainDBs), "M1")
+
+	wdms := []baselines.Estimator{
+		baselines.NewPostgreSQL(),
+		l.tunedMSCN(),
+		l.tunedQPPNet(),
+		l.tunedTPool(),
+		l.tunedQueryFormer(),
+	}
+	for _, e := range wdms {
+		if err := e.Train(pool); err != nil {
+			panic(err)
+		}
+	}
+
+	zs := baselines.NewZeroShot(l.Env)
+	zs.Epochs = l.Cfg.Epochs
+	if err := zs.Train(acrossTrain); err != nil {
+		panic(err)
+	}
+
+	dace := l.TrainDACE(acrossTrain, nil)
+
+	// DACE-LoRA: a copy of the pre-trained DACE, adapters fine-tuned on the
+	// within-database pool.
+	daceLoRA := l.TrainDACE(acrossTrain, nil)
+	daceLoRA.FineTuneLoRA(dataset.Plans(pool), 2e-3, l.Cfg.DACEEpochs)
+
+	estimators := append(append([]baselines.Estimator{}, wdms...),
+		zs,
+		&DACEEstimator{M: dace},
+		&DACEEstimator{M: daceLoRA, Label: "DACE-LoRA"},
+	)
+
+	res := Table1Result{DACE: dace, Summaries: map[workload.MSCNSplit]map[string]metrics.Summary{}}
+	for _, e := range estimators {
+		res.Order = append(res.Order, e.Name())
+	}
+	for _, split := range W3Splits() {
+		samples := l.W3Split(split)
+		res.Summaries[split] = map[string]metrics.Summary{}
+		l.printf("Table I — %s\n%s\n", split, metrics.Header(split.String()))
+		for _, e := range estimators {
+			s := Evaluate(e, samples)
+			res.Summaries[split][e.Name()] = s
+			l.printf("%s\n", s.Row(e.Name()))
+		}
+		l.printf("\n")
+	}
+	return res
+}
+
+func (l *Lab) tunedMSCN() *baselines.MSCN {
+	m := baselines.NewMSCN(l.Env)
+	m.Epochs = l.Cfg.Epochs
+	return m
+}
+
+func (l *Lab) tunedQPPNet() *baselines.QPPNet {
+	q := baselines.NewQPPNet(l.Env)
+	q.Epochs = l.Cfg.Epochs
+	return q
+}
+
+func (l *Lab) tunedTPool() *baselines.TPool {
+	tp := baselines.NewTPool(l.Env)
+	tp.Epochs = l.Cfg.Epochs
+	return tp
+}
+
+func (l *Lab) tunedQueryFormer() *baselines.QueryFormer {
+	qf := baselines.NewQueryFormer(l.Env)
+	qf.Epochs = l.Cfg.Epochs
+	return qf
+}
+
+func (l *Lab) tunedZeroShot() *baselines.ZeroShot {
+	zs := baselines.NewZeroShot(l.Env)
+	zs.Epochs = l.Cfg.Epochs
+	return zs
+}

@@ -1,0 +1,171 @@
+// Package featurize implements the paper's feature extraction (§IV-B): the
+// information catcher (DFS node sequence, adjacency matrix, node heights)
+// and the encoder (node-type one-hot, robust scaler over the DBMS-estimated
+// cost and cardinality, and the loss adjuster L_p = α^H_p of Eq. 4).
+//
+// The encoding deliberately contains *only* optimizer estimates and node
+// types — no predicates, tables, or data characteristics — which is DACE's
+// central design bet (Insight I/II).
+package featurize
+
+import (
+	"math"
+	"sort"
+
+	"dace/internal/nn"
+	"dace/internal/plan"
+)
+
+// FeatureDim is the per-node encoding width: 16 node types one-hot + scaled
+// log(estimated cost) + scaled log(estimated cardinality) = 18, matching
+// the paper's d = 18.
+const FeatureDim = plan.NumNodeTypes + 2
+
+// Scaler is a robust scaler: x ↦ (x − Center)/Scale with Center the median
+// and Scale the interquartile range of the fitting values.
+type Scaler struct {
+	Center float64 `json:"center"`
+	Scale  float64 `json:"scale"`
+}
+
+// FitScaler computes a robust scaler over values. A degenerate IQR falls
+// back to 1 so transforms stay finite.
+func FitScaler(values []float64) Scaler {
+	if len(values) == 0 {
+		return Scaler{Center: 0, Scale: 1}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		pos := p * float64(len(s)-1)
+		lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+		f := pos - float64(lo)
+		return s[lo]*(1-f) + s[hi]*f
+	}
+	iqr := q(0.75) - q(0.25)
+	if iqr < 1e-9 {
+		iqr = 1
+	}
+	return Scaler{Center: q(0.5), Scale: iqr}
+}
+
+// Transform applies the scaler.
+func (s Scaler) Transform(v float64) float64 { return (v - s.Center) / s.Scale }
+
+// Inverse undoes Transform.
+func (s Scaler) Inverse(v float64) float64 { return v*s.Scale + s.Center }
+
+// logSafe is the log transform applied before scaling; all three scaled
+// quantities (cost, cardinality, latency) are heavy-tailed positives.
+func logSafe(v float64) float64 { return math.Log(math.Max(v, 1e-6)) }
+
+// Encoder turns plans into model-ready encodings. Scalers are fit once on
+// the training corpus (FitEncoder) and then frozen, including at test time
+// on unseen databases — exactly the pre-trained-model protocol.
+type Encoder struct {
+	Cost  Scaler  `json:"cost"`
+	Card  Scaler  `json:"card"`
+	Label Scaler  `json:"label"`
+	Alpha float64 `json:"alpha"`
+	// ActualCard switches the cardinality feature from the optimizer's
+	// estimate to the true cardinality — the paper's DACE-A upper-bound
+	// variant (Fig. 12). Real deployments cannot do this.
+	ActualCard bool `json:"actual_card,omitempty"`
+}
+
+// FitEncoder fits the robust scalers on every node of the training plans.
+func FitEncoder(plans []*plan.Plan, alpha float64) *Encoder {
+	return fitEncoder(plans, alpha, false)
+}
+
+// FitEncoderActualCard fits an encoder whose cardinality feature reads true
+// cardinalities (DACE-A).
+func FitEncoderActualCard(plans []*plan.Plan, alpha float64) *Encoder {
+	return fitEncoder(plans, alpha, true)
+}
+
+func fitEncoder(plans []*plan.Plan, alpha float64, actualCard bool) *Encoder {
+	var costs, cards, labels []float64
+	for _, p := range plans {
+		for _, n := range p.DFS() {
+			costs = append(costs, logSafe(n.EstCost))
+			if actualCard {
+				cards = append(cards, logSafe(n.ActualRows))
+			} else {
+				cards = append(cards, logSafe(n.EstRows))
+			}
+			if n.ActualMS > 0 {
+				labels = append(labels, logSafe(n.ActualMS))
+			}
+		}
+	}
+	return &Encoder{
+		Cost:       FitScaler(costs),
+		Card:       FitScaler(cards),
+		Label:      FitScaler(labels),
+		Alpha:      alpha,
+		ActualCard: actualCard,
+	}
+}
+
+// Encoded is one plan, model-ready.
+type Encoded struct {
+	// X is the n×18 node encoding sequence in DFS order.
+	X *nn.Matrix
+	// Mask is the n×n tree-structured attention mask (the ancestor matrix).
+	Mask *nn.Matrix
+	// LossW is the n×1 per-node loss weight α^height (Eq. 4).
+	LossW *nn.Matrix
+	// Y is the n×1 scaled log actual latency per sub-plan (labels); zero
+	// when the plan is unlabeled.
+	Y *nn.Matrix
+	// Heights are the per-node heights in DFS order.
+	Heights []int
+}
+
+// Encode featurizes one plan.
+func (e *Encoder) Encode(p *plan.Plan) *Encoded {
+	nodes := p.DFS()
+	n := len(nodes)
+	x := nn.NewMatrix(n, FeatureDim)
+	y := nn.NewMatrix(n, 1)
+	w := nn.NewMatrix(n, 1)
+	heights := p.Heights()
+	for i, node := range nodes {
+		x.Set(i, int(node.Type), 1)
+		x.Set(i, plan.NumNodeTypes, e.Cost.Transform(logSafe(node.EstCost)))
+		card := node.EstRows
+		if e.ActualCard {
+			card = node.ActualRows
+		}
+		x.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
+		if node.ActualMS > 0 {
+			y.Set(i, 0, e.Label.Transform(logSafe(node.ActualMS)))
+		}
+		w.Set(i, 0, math.Pow(e.Alpha, float64(heights[i])))
+	}
+	if e.Alpha == 0 {
+		// α=0 would zero every non-root weight via Pow(0, h>0) but also set
+		// the root's 0^0 = 1; that is the intended "root only" mode.
+		w.Zero()
+		w.Set(0, 0, 1)
+	}
+	adj := p.Adjacency()
+	mask := nn.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mask.Set(i, j, adj[i][j])
+		}
+	}
+	return &Encoded{X: x, Mask: mask, LossW: w, Y: y, Heights: heights}
+}
+
+// InverseLabel maps a model output (scaled log ms) back to milliseconds.
+func (e *Encoder) InverseLabel(v float64) float64 {
+	return math.Exp(e.Label.Inverse(v))
+}
+
+// LabelOf returns the scaled log label of an actual latency.
+func (e *Encoder) LabelOf(actualMS float64) float64 {
+	return e.Label.Transform(logSafe(actualMS))
+}

@@ -1,0 +1,178 @@
+package featurize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+func trainingPlans(t *testing.T, n int) []*plan.Plan {
+	t.Helper()
+	samples, err := dataset.ComplexWorkload(schema.IMDB(), n, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.Plans(samples)
+}
+
+func TestFitScalerRobustness(t *testing.T) {
+	s := FitScaler([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1e9}) // outlier
+	if s.Center > 10 {
+		t.Fatalf("median-based center %v polluted by outlier", s.Center)
+	}
+	if got := s.Inverse(s.Transform(4.2)); math.Abs(got-4.2) > 1e-9 {
+		t.Fatalf("scaler round trip %v", got)
+	}
+}
+
+func TestFitScalerDegenerate(t *testing.T) {
+	s := FitScaler([]float64{5, 5, 5, 5})
+	if s.Scale != 1 {
+		t.Fatalf("degenerate IQR should fall back to 1, got %v", s.Scale)
+	}
+	if FitScaler(nil).Scale != 1 {
+		t.Fatal("empty scaler should be identity-ish")
+	}
+}
+
+func TestScalerRoundTripProperty(t *testing.T) {
+	s := FitScaler([]float64{1, 5, 9, 13, 40})
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got := s.Inverse(s.Transform(v))
+		return math.Abs(got-v) <= 1e-9*(1+math.Abs(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeShapeAndOneHot(t *testing.T) {
+	plans := trainingPlans(t, 30)
+	enc := FitEncoder(plans, 0.5)
+	for _, p := range plans {
+		e := enc.Encode(p)
+		n := p.NodeCount()
+		if e.X.Rows != n || e.X.Cols != FeatureDim {
+			t.Fatalf("X is %d×%d, want %d×%d", e.X.Rows, e.X.Cols, n, FeatureDim)
+		}
+		if e.Mask.Rows != n || e.Mask.Cols != n {
+			t.Fatal("mask shape wrong")
+		}
+		nodes := p.DFS()
+		for i, node := range nodes {
+			// Exactly one type bit set, at the node's type index.
+			var ones int
+			for j := 0; j < plan.NumNodeTypes; j++ {
+				if e.X.At(i, j) == 1 {
+					ones++
+					if j != int(node.Type) {
+						t.Fatalf("node %d one-hot at %d, type is %d", i, j, node.Type)
+					}
+				} else if e.X.At(i, j) != 0 {
+					t.Fatal("one-hot region contains non-binary value")
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("node %d has %d type bits", i, ones)
+			}
+		}
+	}
+}
+
+func TestLossWeightsFollowEq4(t *testing.T) {
+	plans := trainingPlans(t, 20)
+	enc := FitEncoder(plans, 0.5)
+	for _, p := range plans {
+		e := enc.Encode(p)
+		for i, h := range e.Heights {
+			want := math.Pow(0.5, float64(h))
+			if math.Abs(e.LossW.At(i, 0)-want) > 1e-12 {
+				t.Fatalf("weight at height %d = %v, want %v", h, e.LossW.At(i, 0), want)
+			}
+		}
+		if e.LossW.At(0, 0) != 1 {
+			t.Fatal("root weight must be 1")
+		}
+	}
+}
+
+func TestAlphaZeroIsRootOnly(t *testing.T) {
+	plans := trainingPlans(t, 5)
+	enc := FitEncoder(plans, 0)
+	e := enc.Encode(plans[0])
+	if e.LossW.At(0, 0) != 1 {
+		t.Fatal("α=0 must keep the root weight 1")
+	}
+	for i := 1; i < e.LossW.Rows; i++ {
+		if e.LossW.At(i, 0) != 0 {
+			t.Fatalf("α=0 must zero non-root weights, node %d has %v", i, e.LossW.At(i, 0))
+		}
+	}
+}
+
+func TestAlphaOneIsUniform(t *testing.T) {
+	plans := trainingPlans(t, 5)
+	enc := FitEncoder(plans, 1)
+	e := enc.Encode(plans[0])
+	for i := 0; i < e.LossW.Rows; i++ {
+		if e.LossW.At(i, 0) != 1 {
+			t.Fatal("α=1 must weight all nodes equally")
+		}
+	}
+}
+
+func TestMaskMatchesAdjacency(t *testing.T) {
+	plans := trainingPlans(t, 10)
+	enc := FitEncoder(plans, 0.5)
+	for _, p := range plans {
+		e := enc.Encode(p)
+		adj := p.Adjacency()
+		for i := range adj {
+			for j := range adj[i] {
+				if e.Mask.At(i, j) != adj[i][j] {
+					t.Fatal("mask diverges from adjacency")
+				}
+			}
+		}
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	plans := trainingPlans(t, 40)
+	enc := FitEncoder(plans, 0.5)
+	p := plans[0]
+	e := enc.Encode(p)
+	root := p.DFS()[0]
+	got := enc.InverseLabel(e.Y.At(0, 0))
+	if math.Abs(got-root.ActualMS) > 1e-6*(1+root.ActualMS) {
+		t.Fatalf("label round trip %v, want %v", got, root.ActualMS)
+	}
+	if enc.LabelOf(root.ActualMS) != e.Y.At(0, 0) {
+		t.Fatal("LabelOf disagrees with Encode")
+	}
+}
+
+func TestScaledFeaturesAreCentered(t *testing.T) {
+	plans := trainingPlans(t, 100)
+	enc := FitEncoder(plans, 0.5)
+	var costVals []float64
+	for _, p := range plans {
+		e := enc.Encode(p)
+		for i := 0; i < e.X.Rows; i++ {
+			costVals = append(costVals, e.X.At(i, plan.NumNodeTypes))
+		}
+	}
+	// Robust scaling: median ≈ 0, bulk within a few units.
+	s := FitScaler(costVals)
+	if math.Abs(s.Center) > 0.2 {
+		t.Fatalf("scaled cost median %v, want ≈0", s.Center)
+	}
+}

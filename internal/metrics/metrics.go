@@ -1,0 +1,89 @@
+// Package metrics implements the paper's evaluation metrics: the q-error
+// (Eq. 1) and its distribution summaries (median/90th/95th/99th/max/mean),
+// plus small helpers for throughput reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QError is max(est, act)/min(est, act) — Eq. (1). It is ≥ 1, symmetric in
+// its arguments, and guards against non-positive inputs by flooring them.
+func QError(est, act float64) float64 {
+	const floor = 1e-9
+	if est < floor {
+		est = floor
+	}
+	if act < floor {
+		act = floor
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// Summary is the paper's q-error table row.
+type Summary struct {
+	Median float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Max    float64
+	Mean   float64
+	N      int
+}
+
+// Summarize computes the distribution summary of qerrors.
+func Summarize(qerrors []float64) Summary {
+	if len(qerrors) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), qerrors...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Median: Quantile(s, 0.5),
+		P90:    Quantile(s, 0.90),
+		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+		N:      len(s),
+	}
+}
+
+// Quantile returns the q-quantile of sorted (linear interpolation).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Row renders the summary as the paper's table row.
+func (s Summary) Row(name string) string {
+	return fmt.Sprintf("%-18s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f",
+		name, s.Median, s.P90, s.P95, s.P99, s.Max, s.Mean)
+}
+
+// Header renders the column header matching Row.
+func Header(split string) string {
+	return fmt.Sprintf("%-18s %8s %8s %8s %8s %8s %8s",
+		split, "Median", "90th", "95th", "99th", "Max", "Mean")
+}

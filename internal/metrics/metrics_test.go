@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	if got := QError(10, 10); got != 1 {
+		t.Fatalf("QError equal = %v, want 1", got)
+	}
+	if got := QError(20, 10); got != 2 {
+		t.Fatalf("QError 2× over = %v, want 2", got)
+	}
+	if got := QError(5, 10); got != 2 {
+		t.Fatalf("QError 2× under = %v, want 2", got)
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.001, math.Abs(b)+0.001
+		q := QError(a, b)
+		return q >= 1 && QError(b, a) == q // symmetric, ≥ 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQErrorGuardsNonPositive(t *testing.T) {
+	if q := QError(0, 10); math.IsInf(q, 1) || math.IsNaN(q) {
+		t.Fatalf("QError(0, 10) = %v", q)
+	}
+	if q := QError(-1, 10); math.IsNaN(q) {
+		t.Fatal("QError of negative input is NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var qs []float64
+	for i := 1; i <= 100; i++ {
+		qs = append(qs, float64(i))
+	}
+	s := Summarize(qs)
+	if s.N != 100 || s.Max != 100 {
+		t.Fatalf("N=%d Max=%v", s.N, s.Max)
+	}
+	if s.Median < 50 || s.Median > 51 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.P90 < 89 || s.P90 > 91 || s.P99 < 98 || s.P99 > 100 {
+		t.Fatalf("P90=%v P99=%v", s.P90, s.P99)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	s := []float64{1, 2, 3}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 3 {
+		t.Fatal("quantile edges wrong")
+	}
+	if got := Quantile(s, 0.5); got != 2 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		s := []float64{1, 4, 9, 16, 25, 36}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(s, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowAndHeaderAlign(t *testing.T) {
+	h := Header("Synthetic")
+	r := Summarize([]float64{1, 2, 3}).Row("DACE")
+	if !strings.Contains(h, "Median") || !strings.Contains(r, "DACE") {
+		t.Fatal("row/header malformed")
+	}
+	if len(h) != len(r) {
+		t.Fatalf("header width %d != row width %d", len(h), len(r))
+	}
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer y = x·W + b.
+type Dense struct {
+	W *Param
+	B *Param
+}
+
+// NewDense allocates a Dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W: NewParam(name+".W", in, out),
+		B: NewParam(name+".B", 1, out),
+	}
+	XavierInit(d.W.Value, in, out, rng)
+	return d
+}
+
+// Apply records the layer's forward pass on the tape.
+func (d *Dense) Apply(t *Tape, x *Node) *Node {
+	return t.AddRow(t.MatMul(x, t.Leaf(d.W)), t.Leaf(d.B))
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// In returns the layer's input width.
+func (d *Dense) In() int { return d.W.Value.Rows }
+
+// Out returns the layer's output width.
+func (d *Dense) Out() int { return d.W.Value.Cols }
+
+// LoRADense is a Dense layer with an optional low-rank adapter:
+//
+//	y = x·W + b + x·(Bᵣ·Aᵣ)·scale
+//
+// matching DACE Eq. (8): during pre-training only W/b train and the adapter
+// is absent; during fine-tuning W/b freeze and only the rank-r factors
+// train. scale follows the usual LoRA convention alpha/r.
+type LoRADense struct {
+	Base  *Dense
+	Down  *Param // in×r ("W_B" in the paper's notation)
+	Up    *Param // r×out ("W_A")
+	Rank  int
+	Scale float64
+}
+
+// NewLoRADense wraps base with a rank-r adapter. The down-projection gets a
+// small random initialization and the up-projection starts at zero, so the
+// adapter is an exact no-op before fine-tuning.
+func NewLoRADense(base *Dense, rank int, rng *rand.Rand) *LoRADense {
+	// Note: the paper's own configuration (r₃=8 for the 64→1 layer) exceeds
+	// min(in, out), so only positivity is enforced here.
+	if rank <= 0 {
+		panic(fmt.Sprintf("nn: LoRA rank %d invalid for %d×%d layer", rank, base.In(), base.Out()))
+	}
+	l := &LoRADense{
+		Base:  base,
+		Down:  NewParam(base.W.Name+".lora.down", base.In(), rank),
+		Up:    NewParam(base.W.Name+".lora.up", rank, base.Out()),
+		Rank:  rank,
+		Scale: 1.0 / float64(rank),
+	}
+	XavierInit(l.Down.Value, base.In(), rank, rng)
+	return l
+}
+
+// Apply records base output plus the adapter path.
+func (l *LoRADense) Apply(t *Tape, x *Node) *Node {
+	y := l.Base.Apply(t, x)
+	adapter := t.Scale(t.MatMul(t.MatMul(x, t.Leaf(l.Down)), t.Leaf(l.Up)), l.Scale)
+	return t.Add(y, adapter)
+}
+
+// Params returns all parameters (base + adapter).
+func (l *LoRADense) Params() []*Param {
+	return append(l.Base.Params(), l.Down, l.Up)
+}
+
+// FreezeBase marks the wrapped Dense untrainable and the adapter trainable,
+// entering fine-tuning mode.
+func (l *LoRADense) FreezeBase() {
+	l.Base.W.Frozen = true
+	l.Base.B.Frozen = true
+	l.Down.Frozen = false
+	l.Up.Frozen = false
+}
+
+// Merge folds the adapter into the base weights (W += Down·Up·scale) and
+// resets the adapter, so inference needs no extra matmul.
+func (l *LoRADense) Merge() {
+	delta := MatMul(l.Down.Value, l.Up.Value)
+	ScaleInPlace(delta, l.Scale)
+	AddInPlace(l.Base.W.Value, delta)
+	l.Down.Value.Zero()
+	l.Up.Value.Zero()
+}
+
+// Attention is a single-head scaled dot-product attention block with a
+// per-call constant mask, as used by DACE's tree-structured attention.
+type Attention struct {
+	WQ, WK, WV *Param
+	DK         int
+}
+
+// NewAttention allocates projections from d-dimensional inputs to dk-dim
+// queries/keys and dv-dim values.
+func NewAttention(name string, d, dk, dv int, rng *rand.Rand) *Attention {
+	a := &Attention{
+		WQ: NewParam(name+".WQ", d, dk),
+		WK: NewParam(name+".WK", d, dk),
+		WV: NewParam(name+".WV", d, dv),
+		DK: dk,
+	}
+	XavierInit(a.WQ.Value, d, dk, rng)
+	XavierInit(a.WK.Value, d, dk, rng)
+	XavierInit(a.WV.Value, d, dv, rng)
+	return a
+}
+
+// Apply records softmax(Q·Kᵀ/√dk ⊙ mask)·V. mask is an n×n constant whose
+// zero entries are excluded from each row's softmax; bias, if non-nil, is an
+// n×n constant added to the scores before the softmax (QueryFormer's tree
+// bias uses it; DACE passes nil).
+func (a *Attention) Apply(t *Tape, s *Node, mask *Matrix, bias *Matrix) *Node {
+	q := t.MatMul(s, t.Leaf(a.WQ))
+	k := t.MatMul(s, t.Leaf(a.WK))
+	v := t.MatMul(s, t.Leaf(a.WV))
+	scores := t.Scale(t.MatMulNodesTransB(q, k), 1/math.Sqrt(float64(a.DK)))
+	if bias != nil {
+		scores = t.AddConst(scores, bias)
+	}
+	attn := t.SoftmaxRowsMasked(scores, mask)
+	return t.MatMul(attn, v)
+}
+
+// Params returns the projection parameters.
+func (a *Attention) Params() []*Param { return []*Param{a.WQ, a.WK, a.WV} }
+
+// MatMulNodesTransB records c = a·bᵀ over graph nodes.
+func (t *Tape) MatMulNodesTransB(a, b *Node) *Node {
+	v := MatMulTransB(a.Value, b.Value)
+	return t.newNode(v, func(n *Node) {
+		// c = a·bᵀ ⇒ da = dc·b ; db = dcᵀ·a
+		if a.NeedsGrad {
+			AddInPlace(a.Grad, MatMul(n.Grad, b.Value))
+		}
+		if b.NeedsGrad {
+			AddInPlace(b.Grad, MatMulTransA(n.Grad, a.Value))
+		}
+	})
+}
+
+// MLP is a stack of Dense layers with ReLU between them (none after the last).
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [128,64,1]
+// with in=128 builds 128→128→64→1.
+func NewMLP(name string, in int, dims []int, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	prev := in
+	for i, d := range dims {
+		m.Layers = append(m.Layers, NewDense(fmt.Sprintf("%s.%d", name, i), prev, d, rng))
+		prev = d
+	}
+	return m
+}
+
+// Apply records the forward pass.
+func (m *MLP) Apply(t *Tape, x *Node) *Node {
+	for i, l := range m.Layers {
+		x = l.Apply(t, x)
+		if i != len(m.Layers)-1 {
+			x = t.ReLU(x)
+		}
+	}
+	return x
+}
+
+// Params returns all layer parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams counts scalar parameters in ps.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// SizeMB reports the float32-equivalent size of ps in megabytes, matching
+// how the paper reports model sizes.
+func SizeMB(ps []*Param) float64 {
+	return float64(NumParams(ps)) * 4 / (1024 * 1024)
+}

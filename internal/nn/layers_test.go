@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseShapesAndGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("fc", 4, 3, rng)
+	x := randParam("x", 5, 4, rng)
+	tp := NewTape()
+	y := d.Apply(tp, tp.Leaf(x))
+	if y.Value.Rows != 5 || y.Value.Cols != 3 {
+		t.Fatalf("Dense output %d×%d, want 5×3", y.Value.Rows, y.Value.Cols)
+	}
+	params := append(d.Params(), x)
+	checkOp(t, "Dense", params, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(d.Apply(tp, tp.Leaf(x))))
+	})
+}
+
+func TestMLPGradAndDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP("mlp", 6, []int{8, 4, 1}, rng)
+	if len(m.Layers) != 3 {
+		t.Fatalf("MLP depth %d, want 3", len(m.Layers))
+	}
+	x := randParam("x", 3, 6, rng)
+	checkOp(t, "MLP", append(m.Params(), x), func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(m.Apply(tp, tp.Leaf(x))))
+	})
+}
+
+func TestAttentionMaskedGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	att := NewAttention("att", 5, 7, 6, rng)
+	x := randParam("x", 4, 5, rng)
+	// Lower-triangular-with-diagonal mask (a chain plan's ancestor relation).
+	mask := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			mask.Set(i, j, 1)
+		}
+	}
+	checkOp(t, "Attention", append(att.Params(), x), func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(att.Apply(tp, tp.Leaf(x), mask, nil)))
+	})
+}
+
+func TestAttentionBiasPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	att := NewAttention("att", 3, 4, 4, rng)
+	x := randParam("x", 3, 3, rng)
+	mask := NewMatrix(3, 3)
+	mask.Fill(1)
+	bias := NewMatrix(3, 3)
+	for i := range bias.Data {
+		bias.Data[i] = rng.NormFloat64()
+	}
+	tp := NewTape()
+	withBias := att.Apply(tp, tp.Leaf(x), mask, bias)
+	tp2 := NewTape()
+	noBias := att.Apply(tp2, tp2.Leaf(x), mask, nil)
+	same := true
+	for i := range withBias.Value.Data {
+		if !almostEqual(withBias.Value.Data[i], noBias.Value.Data[i], 1e-12) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("attention bias had no effect")
+	}
+}
+
+func TestLoRAStartsAsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := NewDense("fc", 8, 4, rng)
+	lora := NewLoRADense(base, 2, rng)
+	x := randParam("x", 3, 8, rng)
+	tp := NewTape()
+	y1 := base.Apply(tp, tp.Leaf(x))
+	y2 := lora.Apply(tp, tp.Leaf(x))
+	for i := range y1.Value.Data {
+		if !almostEqual(y1.Value.Data[i], y2.Value.Data[i], 1e-12) {
+			t.Fatalf("fresh LoRA changed output at %d: %v vs %v", i, y1.Value.Data[i], y2.Value.Data[i])
+		}
+	}
+}
+
+func TestLoRAFreezeAndTrainOnlyAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := NewDense("fc", 4, 2, rng)
+	lora := NewLoRADense(base, 2, rng)
+	lora.FreezeBase()
+	baseW := base.W.Value.Clone()
+
+	x := randParam("x", 2, 4, rng)
+	target := FromSlice(2, 2, []float64{1, 0, 0, 1})
+	opt := NewAdam(lora.Params(), 0.05)
+	var last float64
+	for i := 0; i < 200; i++ {
+		tp := NewTape()
+		y := lora.Apply(tp, tp.Leaf(x))
+		loss := tp.Mean(tp.Square(tp.Sub(y, tp.Const(target))))
+		tp.Backward(loss)
+		opt.Step()
+		last = loss.Value.Data[0]
+	}
+	for i := range baseW.Data {
+		if base.W.Value.Data[i] != baseW.Data[i] {
+			t.Fatal("frozen base weight changed during LoRA fine-tune")
+		}
+	}
+	if last > 0.05 {
+		t.Fatalf("LoRA fine-tune failed to fit: loss %v", last)
+	}
+	if lora.Up.Value.NormInf() == 0 {
+		t.Fatal("adapter never trained")
+	}
+}
+
+func TestLoRAMergeMatchesAdapterOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := NewDense("fc", 4, 3, rng)
+	lora := NewLoRADense(base, 2, rng)
+	for i := range lora.Up.Value.Data {
+		lora.Up.Value.Data[i] = rng.NormFloat64()
+	}
+	x := randParam("x", 2, 4, rng)
+	tp := NewTape()
+	before := lora.Apply(tp, tp.Leaf(x)).Value.Clone()
+	lora.Merge()
+	tp2 := NewTape()
+	after := base.Apply(tp2, tp2.Leaf(x)).Value
+	for i := range before.Data {
+		if !almostEqual(before.Data[i], after.Data[i], 1e-10) {
+			t.Fatalf("Merge mismatch at %d: %v vs %v", i, before.Data[i], after.Data[i])
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("w", 1, 3)
+	p.Value.Data = []float64{5, -4, 3}
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		tp := NewTape()
+		loss := tp.Sum(tp.Square(tp.Leaf(p)))
+		tp.Backward(loss)
+		opt.Step()
+	}
+	if n := p.Value.NormInf(); n > 1e-3 {
+		t.Fatalf("Adam failed to minimize quadratic, |w|∞ = %v", n)
+	}
+}
+
+func TestAdamSkipsFrozen(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 1
+	p.Frozen = true
+	opt := NewAdam([]*Param{p}, 0.1)
+	tp := NewTape()
+	loss := tp.Sum(tp.Square(tp.Leaf(p)))
+	tp.Backward(loss)
+	opt.Step()
+	if p.Value.Data[0] != 1 {
+		t.Fatal("frozen param updated")
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("frozen param grad not cleared after Step")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", 1, 2)
+	p.Grad.Data = []float64{3, 4} // norm 5
+	ClipGradNorm([]*Param{p}, 1)
+	norm := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if !almostEqual(norm, 1, 1e-12) {
+		t.Fatalf("clipped norm %v, want 1", norm)
+	}
+	// Below threshold: untouched.
+	p.Grad.Data = []float64{0.3, 0.4}
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("clip modified small gradient")
+	}
+}
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDense("fc", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, d.Params()); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDense("fc", 3, 2, rand.New(rand.NewSource(99)))
+	if err := LoadParams(&buf, d2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.W.Value.Data {
+		if d.W.Value.Data[i] != d2.W.Value.Data[i] {
+			t.Fatal("round trip lost weights")
+		}
+	}
+}
+
+func TestLoadParamsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDense("fc", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, d.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewDense("other", 3, 2, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrong.Params()); err == nil {
+		t.Fatal("expected missing-name error")
+	}
+	misshapen := NewDense("fc", 2, 2, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), misshapen.Params()); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+func TestNumParamsAndSizeMB(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDense("fc", 10, 5, rng)
+	if got := NumParams(d.Params()); got != 55 {
+		t.Fatalf("NumParams = %d, want 55", got)
+	}
+	if got := SizeMB(d.Params()); !almostEqual(got, 55*4.0/(1024*1024), 1e-15) {
+		t.Fatalf("SizeMB = %v", got)
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewDense("fc", 3, 3, rng)
+	b := NewDense("fc", 3, 3, rand.New(rand.NewSource(12)))
+	if err := CopyParams(b.Params(), a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W.Value.Data {
+		if a.W.Value.Data[i] != b.W.Value.Data[i] {
+			t.Fatal("CopyParams did not copy")
+		}
+	}
+	c := NewDense("fc", 2, 3, rng)
+	if err := CopyParams(c.Params(), a.Params()); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

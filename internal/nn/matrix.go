@@ -1,0 +1,179 @@
+// Package nn is a small, dependency-free deep-learning substrate: dense
+// matrices, tape-based reverse-mode automatic differentiation, common layers
+// (fully connected, masked attention, layer normalization, LoRA adapters)
+// and the Adam optimizer.
+//
+// It exists because this repository reproduces a learned cost estimator
+// (DACE, ICDE 2024) in pure Go; the models involved are small (tens of
+// thousands of parameters), so a straightforward float64 CPU implementation
+// is both sufficient and easy to verify with finite-difference gradient
+// checks (see gradcheck.go).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix that copies data (len must equal rows*cols).
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: FromSlice got %d values for %d×%d", len(data), rows, cols))
+	}
+	m := NewMatrix(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// RowVector builds a 1×n matrix from data.
+func RowVector(data ...float64) *Matrix { return FromSlice(1, len(data), data) }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and other have identical dimensions.
+func (m *Matrix) SameShape(other *Matrix) bool {
+	return m.Rows == other.Rows && m.Cols == other.Cols
+}
+
+func (m *Matrix) shape() string { return fmt.Sprintf("%d×%d", m.Rows, m.Cols) }
+
+// MatMul computes a·b into a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %s · %s", a.shape(), b.shape()))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA computes aᵀ·b into a new matrix.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulTransA shape mismatch %sᵀ · %s", a.shape(), b.shape()))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a·bᵀ into a new matrix.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulTransB shape mismatch %s · %sᵀ", a.shape(), b.shape()))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] += s
+		}
+	}
+	return out
+}
+
+// AddInPlace accumulates src into dst element-wise.
+func AddInPlace(dst, src *Matrix) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("nn: AddInPlace shape mismatch %s vs %s", dst.shape(), src.shape()))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element of m by c.
+func ScaleInPlace(m *Matrix, c float64) {
+	for i := range m.Data {
+		m.Data[i] *= c
+	}
+}
+
+// XavierInit fills m with uniform Glorot initialization for a fanIn×fanOut layer.
+func XavierInit(m *Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// NormInf returns the maximum absolute element of m (0 for empty matrices).
+func (m *Matrix) NormInf() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}

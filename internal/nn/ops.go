@@ -1,0 +1,463 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul records c = a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := MatMul(a.Value, b.Value)
+	return t.newNode(v, func(n *Node) {
+		// dL/da = dL/dc · bᵀ ; dL/db = aᵀ · dL/dc
+		if a.NeedsGrad {
+			AddInPlace(a.Grad, MatMulTransB(n.Grad, b.Value))
+		}
+		if b.NeedsGrad {
+			AddInPlace(b.Grad, MatMulTransA(a.Value, n.Grad))
+		}
+	})
+}
+
+// Add records c = a + b for same-shape operands.
+func (t *Tape) Add(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
+	}
+	v := a.Value.Clone()
+	AddInPlace(v, b.Value)
+	return t.newNode(v, func(n *Node) {
+		AddInPlace(a.Grad, n.Grad)
+		AddInPlace(b.Grad, n.Grad)
+	})
+}
+
+// Sub records c = a − b for same-shape operands.
+func (t *Tape) Sub(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic(fmt.Sprintf("nn: Sub shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
+	}
+	v := a.Value.Clone()
+	for i, x := range b.Value.Data {
+		v.Data[i] -= x
+	}
+	return t.newNode(v, func(n *Node) {
+		AddInPlace(a.Grad, n.Grad)
+		for i, g := range n.Grad.Data {
+			b.Grad.Data[i] -= g
+		}
+	})
+}
+
+// AddRow records c[i,j] = a[i,j] + row[0,j], broadcasting a 1×n bias over rows.
+func (t *Tape) AddRow(a, row *Node) *Node {
+	if row.Value.Rows != 1 || row.Value.Cols != a.Value.Cols {
+		panic(fmt.Sprintf("nn: AddRow wants 1×%d bias, got %s", a.Value.Cols, row.Value.shape()))
+	}
+	v := a.Value.Clone()
+	for i := 0; i < v.Rows; i++ {
+		for j := 0; j < v.Cols; j++ {
+			v.Data[i*v.Cols+j] += row.Value.Data[j]
+		}
+	}
+	return t.newNode(v, func(n *Node) {
+		AddInPlace(a.Grad, n.Grad)
+		for i := 0; i < n.Grad.Rows; i++ {
+			for j := 0; j < n.Grad.Cols; j++ {
+				row.Grad.Data[j] += n.Grad.Data[i*n.Grad.Cols+j]
+			}
+		}
+	})
+}
+
+// Mul records the element-wise (Hadamard) product of same-shape operands.
+func (t *Tape) Mul(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic(fmt.Sprintf("nn: Mul shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
+	}
+	v := a.Value.Clone()
+	for i, x := range b.Value.Data {
+		v.Data[i] *= x
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += g * b.Value.Data[i]
+			b.Grad.Data[i] += g * a.Value.Data[i]
+		}
+	})
+}
+
+// Scale records c = k·a for a compile-time constant k.
+func (t *Tape) Scale(a *Node, k float64) *Node {
+	v := a.Value.Clone()
+	ScaleInPlace(v, k)
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += g * k
+		}
+	})
+}
+
+// ReLU records the rectified linear unit max(0, x).
+func (t *Tape) ReLU(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		if x < 0 {
+			v.Data[i] = 0
+		}
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			if a.Value.Data[i] > 0 {
+				a.Grad.Data[i] += g
+			}
+		}
+	})
+}
+
+// LeakyReLU records max(x, slope·x).
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		if x < 0 {
+			v.Data[i] = slope * x
+		}
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			if a.Value.Data[i] > 0 {
+				a.Grad.Data[i] += g
+			} else {
+				a.Grad.Data[i] += g * slope
+			}
+		}
+	})
+}
+
+// Sigmoid records the logistic function 1/(1+e^−x).
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		v.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			s := n.Value.Data[i]
+			a.Grad.Data[i] += g * s * (1 - s)
+		}
+	})
+}
+
+// Tanh records the hyperbolic tangent.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		v.Data[i] = math.Tanh(x)
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			y := n.Value.Data[i]
+			a.Grad.Data[i] += g * (1 - y*y)
+		}
+	})
+}
+
+// Abs records the element-wise absolute value, with subgradient 0 at 0.
+func (t *Tape) Abs(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		v.Data[i] = math.Abs(x)
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			switch x := a.Value.Data[i]; {
+			case x > 0:
+				a.Grad.Data[i] += g
+			case x < 0:
+				a.Grad.Data[i] -= g
+			}
+		}
+	})
+}
+
+// Square records the element-wise square.
+func (t *Tape) Square(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		v.Data[i] = x * x
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += 2 * g * a.Value.Data[i]
+		}
+	})
+}
+
+// Sum records the scalar sum of all elements.
+func (t *Tape) Sum(a *Node) *Node {
+	var s float64
+	for _, x := range a.Value.Data {
+		s += x
+	}
+	v := FromSlice(1, 1, []float64{s})
+	return t.newNode(v, func(n *Node) {
+		g := n.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	})
+}
+
+// Mean records the scalar mean of all elements.
+func (t *Tape) Mean(a *Node) *Node {
+	return t.Scale(t.Sum(a), 1/float64(len(a.Value.Data)))
+}
+
+// MeanRows records the column-wise mean over rows, producing a 1×cols node.
+// It is the pooling step of deep-set style models (e.g. MSCN).
+func (t *Tape) MeanRows(a *Node) *Node {
+	v := NewMatrix(1, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		for j := 0; j < a.Value.Cols; j++ {
+			v.Data[j] += a.Value.Data[i*a.Value.Cols+j]
+		}
+	}
+	inv := 1 / float64(a.Value.Rows)
+	ScaleInPlace(v, inv)
+	return t.newNode(v, func(n *Node) {
+		for i := 0; i < a.Value.Rows; i++ {
+			for j := 0; j < a.Value.Cols; j++ {
+				a.Grad.Data[i*a.Value.Cols+j] += n.Grad.Data[j] * inv
+			}
+		}
+	})
+}
+
+// ConcatCols records the horizontal concatenation of same-row-count nodes.
+func (t *Tape) ConcatCols(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("nn: ConcatCols needs at least one operand")
+	}
+	rows := parts[0].Value.Rows
+	total := 0
+	for _, p := range parts {
+		if p.Value.Rows != rows {
+			panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", rows, p.Value.Rows))
+		}
+		total += p.Value.Cols
+	}
+	v := NewMatrix(rows, total)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(v.Data[i*total+off:i*total+off+p.Value.Cols], p.Value.Data[i*p.Value.Cols:(i+1)*p.Value.Cols])
+		}
+		off += p.Value.Cols
+	}
+	return t.newNode(v, func(n *Node) {
+		off := 0
+		for _, p := range parts {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < p.Value.Cols; j++ {
+					p.Grad.Data[i*p.Value.Cols+j] += n.Grad.Data[i*total+off+j]
+				}
+			}
+			off += p.Value.Cols
+		}
+	})
+}
+
+// ConcatRows records the vertical concatenation of same-column-count nodes.
+func (t *Tape) ConcatRows(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("nn: ConcatRows needs at least one operand")
+	}
+	cols := parts[0].Value.Cols
+	total := 0
+	for _, p := range parts {
+		if p.Value.Cols != cols {
+			panic(fmt.Sprintf("nn: ConcatRows col mismatch %d vs %d", cols, p.Value.Cols))
+		}
+		total += p.Value.Rows
+	}
+	v := NewMatrix(total, cols)
+	off := 0
+	for _, p := range parts {
+		copy(v.Data[off*cols:], p.Value.Data)
+		off += p.Value.Rows
+	}
+	return t.newNode(v, func(n *Node) {
+		off := 0
+		for _, p := range parts {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] += n.Grad.Data[off*cols+i]
+			}
+			off += p.Value.Rows
+		}
+	})
+}
+
+// SelectRows records the sub-matrix consisting of the given row indices.
+func (t *Tape) SelectRows(a *Node, idx []int) *Node {
+	cols := a.Value.Cols
+	v := NewMatrix(len(idx), cols)
+	for i, r := range idx {
+		copy(v.Data[i*cols:(i+1)*cols], a.Value.Data[r*cols:(r+1)*cols])
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, r := range idx {
+			for j := 0; j < cols; j++ {
+				a.Grad.Data[r*cols+j] += n.Grad.Data[i*cols+j]
+			}
+		}
+	})
+}
+
+// SoftmaxRowsMasked records a row-wise softmax where only positions with
+// mask[i][j] != 0 participate; masked-out positions get probability 0.
+// Every row must have at least one unmasked position. The mask itself is a
+// constant (no gradient flows into it).
+func (t *Tape) SoftmaxRowsMasked(a *Node, mask *Matrix) *Node {
+	if !a.Value.SameShape(mask) {
+		panic(fmt.Sprintf("nn: SoftmaxRowsMasked mask shape %s vs scores %s", mask.shape(), a.Value.shape()))
+	}
+	rows, cols := a.Value.Rows, a.Value.Cols
+	v := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		max := math.Inf(-1)
+		for j := 0; j < cols; j++ {
+			if mask.Data[i*cols+j] != 0 && a.Value.Data[i*cols+j] > max {
+				max = a.Value.Data[i*cols+j]
+			}
+		}
+		if math.IsInf(max, -1) {
+			panic(fmt.Sprintf("nn: SoftmaxRowsMasked row %d fully masked", i))
+		}
+		var z float64
+		for j := 0; j < cols; j++ {
+			if mask.Data[i*cols+j] != 0 {
+				e := math.Exp(a.Value.Data[i*cols+j] - max)
+				v.Data[i*cols+j] = e
+				z += e
+			}
+		}
+		for j := 0; j < cols; j++ {
+			v.Data[i*cols+j] /= z
+		}
+	}
+	return t.newNode(v, func(n *Node) {
+		// Row-wise softmax adjoint: da = s ⊙ (dg − ⟨dg, s⟩).
+		for i := 0; i < rows; i++ {
+			var dot float64
+			for j := 0; j < cols; j++ {
+				dot += n.Grad.Data[i*cols+j] * n.Value.Data[i*cols+j]
+			}
+			for j := 0; j < cols; j++ {
+				s := n.Value.Data[i*cols+j]
+				a.Grad.Data[i*cols+j] += s * (n.Grad.Data[i*cols+j] - dot)
+			}
+		}
+	})
+}
+
+// AddConst records c = a + constant matrix k (no gradient into k). It is
+// used for additive attention biases such as QueryFormer's tree bias.
+func (t *Tape) AddConst(a *Node, k *Matrix) *Node {
+	if !a.Value.SameShape(k) {
+		panic(fmt.Sprintf("nn: AddConst shape mismatch %s vs %s", a.Value.shape(), k.shape()))
+	}
+	v := a.Value.Clone()
+	AddInPlace(v, k)
+	return t.newNode(v, func(n *Node) {
+		AddInPlace(a.Grad, n.Grad)
+	})
+}
+
+// MulConst records the element-wise product with a constant matrix (no
+// gradient into the constant). It implements per-node loss weighting.
+func (t *Tape) MulConst(a *Node, k *Matrix) *Node {
+	if !a.Value.SameShape(k) {
+		panic(fmt.Sprintf("nn: MulConst shape mismatch %s vs %s", a.Value.shape(), k.shape()))
+	}
+	v := a.Value.Clone()
+	for i, x := range k.Data {
+		v.Data[i] *= x
+	}
+	return t.newNode(v, func(n *Node) {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += g * k.Data[i]
+		}
+	})
+}
+
+// ScaleConst records c = s·k where s is a 1×1 node (e.g. a learnable scalar
+// parameter) and k a constant matrix. QueryFormer's learnable tree-distance
+// bias b_d is built from these.
+func (t *Tape) ScaleConst(s *Node, k *Matrix) *Node {
+	if s.Value.Rows != 1 || s.Value.Cols != 1 {
+		panic(fmt.Sprintf("nn: ScaleConst wants a 1×1 scalar, got %s", s.Value.shape()))
+	}
+	v := k.Clone()
+	ScaleInPlace(v, s.Value.Data[0])
+	return t.newNode(v, func(n *Node) {
+		var g float64
+		for i, gv := range n.Grad.Data {
+			g += gv * k.Data[i]
+		}
+		s.Grad.Data[0] += g
+	})
+}
+
+// LayerNorm records row-wise layer normalization with learnable gain and
+// bias (1×cols parameters).
+func (t *Tape) LayerNorm(a, gain, bias *Node) *Node {
+	const eps = 1e-5
+	rows, cols := a.Value.Rows, a.Value.Cols
+	if gain.Value.Rows != 1 || gain.Value.Cols != cols || bias.Value.Rows != 1 || bias.Value.Cols != cols {
+		panic("nn: LayerNorm gain/bias must be 1×cols")
+	}
+	v := NewMatrix(rows, cols)
+	means := make([]float64, rows)
+	invstd := make([]float64, rows)
+	norm := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		var mu float64
+		for j := 0; j < cols; j++ {
+			mu += a.Value.Data[i*cols+j]
+		}
+		mu /= float64(cols)
+		var va float64
+		for j := 0; j < cols; j++ {
+			d := a.Value.Data[i*cols+j] - mu
+			va += d * d
+		}
+		va /= float64(cols)
+		is := 1 / math.Sqrt(va+eps)
+		means[i], invstd[i] = mu, is
+		for j := 0; j < cols; j++ {
+			x := (a.Value.Data[i*cols+j] - mu) * is
+			norm.Data[i*cols+j] = x
+			v.Data[i*cols+j] = x*gain.Value.Data[j] + bias.Value.Data[j]
+		}
+	}
+	return t.newNode(v, func(n *Node) {
+		for i := 0; i < rows; i++ {
+			var sumG, sumGX float64
+			dx := make([]float64, cols)
+			for j := 0; j < cols; j++ {
+				g := n.Grad.Data[i*cols+j]
+				gain.Grad.Data[j] += g * norm.Data[i*cols+j]
+				bias.Grad.Data[j] += g
+				dn := g * gain.Value.Data[j]
+				dx[j] = dn
+				sumG += dn
+				sumGX += dn * norm.Data[i*cols+j]
+			}
+			nc := float64(cols)
+			for j := 0; j < cols; j++ {
+				x := norm.Data[i*cols+j]
+				a.Grad.Data[i*cols+j] += invstd[i] / nc * (nc*dx[j] - sumG - x*sumGX)
+			}
+		}
+	})
+}

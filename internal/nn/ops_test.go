@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randParam fills a named parameter with standard normal values.
+func randParam(name string, rows, cols int, rng *rand.Rand) *Param {
+	p := NewParam(name, rows, cols)
+	for i := range p.Value.Data {
+		p.Value.Data[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+// checkOp gradient-checks a scalar function of the given params.
+func checkOp(t *testing.T, name string, params []*Param, f func(t *Tape) *Node) {
+	t.Helper()
+	if worst := GradCheck(params, f); worst > 1e-5 {
+		t.Errorf("%s: gradient check failed, worst relative error %.3g", name, worst)
+	}
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 4, 2, rng)
+	checkOp(t, "MatMul", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.MatMul(tp.Leaf(a), tp.Leaf(b)))
+	})
+}
+
+func TestGradMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 5, 4, rng)
+	checkOp(t, "MatMulNodesTransB", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.MatMulNodesTransB(tp.Leaf(a), tp.Leaf(b)))
+	})
+}
+
+func TestGradAddSubMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randParam("a", 2, 3, rng)
+	b := randParam("b", 2, 3, rng)
+	checkOp(t, "Add", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Add(tp.Leaf(a), tp.Leaf(b)))
+	})
+	checkOp(t, "Sub", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.Sub(tp.Leaf(a), tp.Leaf(b))))
+	})
+	checkOp(t, "Mul", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Mul(tp.Leaf(a), tp.Leaf(b)))
+	})
+}
+
+func TestGradAddRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 1, 4, rng)
+	checkOp(t, "AddRow", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.AddRow(tp.Leaf(a), tp.Leaf(b))))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randParam("a", 3, 3, rng)
+	checkOp(t, "ReLU", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.ReLU(tp.Leaf(a)))
+	})
+	checkOp(t, "LeakyReLU", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.LeakyReLU(tp.Leaf(a), 0.01))
+	})
+	checkOp(t, "Sigmoid", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Sigmoid(tp.Leaf(a)))
+	})
+	checkOp(t, "Tanh", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Tanh(tp.Leaf(a)))
+	})
+	checkOp(t, "Abs", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Abs(tp.Leaf(a)))
+	})
+	checkOp(t, "Square", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.Leaf(a)))
+	})
+}
+
+func TestGradReductionsAndConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randParam("a", 4, 3, rng)
+	b := randParam("b", 4, 2, rng)
+	checkOp(t, "Mean", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Mean(tp.Square(tp.Leaf(a)))
+	})
+	checkOp(t, "MeanRows", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.MeanRows(tp.Leaf(a))))
+	})
+	checkOp(t, "ConcatCols", []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.ConcatCols(tp.Leaf(a), tp.Leaf(b))))
+	})
+	c := randParam("c", 2, 3, rng)
+	checkOp(t, "ConcatRows", []*Param{a, c}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.ConcatRows(tp.Leaf(a), tp.Leaf(c))))
+	})
+	checkOp(t, "SelectRows", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.SelectRows(tp.Leaf(a), []int{0, 2, 2})))
+	})
+}
+
+func TestGradSoftmaxMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randParam("a", 3, 3, rng)
+	mask := FromSlice(3, 3, []float64{
+		1, 1, 1,
+		0, 1, 1,
+		0, 0, 1,
+	})
+	checkOp(t, "SoftmaxRowsMasked", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.SoftmaxRowsMasked(tp.Leaf(a), mask)))
+	})
+}
+
+func TestSoftmaxMaskedZeroesMaskedEntries(t *testing.T) {
+	a := NewParam("a", 2, 3)
+	a.Value.Data = []float64{5, 1, 2, 3, 4, 5}
+	mask := FromSlice(2, 3, []float64{1, 0, 1, 1, 1, 1})
+	tp := NewTape()
+	out := tp.SoftmaxRowsMasked(tp.Leaf(a), mask)
+	if out.Value.At(0, 1) != 0 {
+		t.Fatalf("masked position got probability %v", out.Value.At(0, 1))
+	}
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += out.Value.At(i, j)
+		}
+		if !almostEqual(s, 1, 1e-12) {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxFullyMaskedRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fully masked row")
+		}
+	}()
+	a := NewParam("a", 1, 2)
+	mask := NewMatrix(1, 2)
+	tp := NewTape()
+	tp.SoftmaxRowsMasked(tp.Leaf(a), mask)
+}
+
+func TestGradConstOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randParam("a", 3, 3, rng)
+	k := NewMatrix(3, 3)
+	for i := range k.Data {
+		k.Data[i] = rng.Float64()
+	}
+	checkOp(t, "MulConst", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.MulConst(tp.Leaf(a), k))
+	})
+	checkOp(t, "AddConst", []*Param{a}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.AddConst(tp.Leaf(a), k)))
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randParam("a", 4, 6, rng)
+	gain := randParam("gain", 1, 6, rng)
+	bias := randParam("bias", 1, 6, rng)
+	checkOp(t, "LayerNorm", []*Param{a, gain, bias}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.LayerNorm(tp.Leaf(a), tp.Leaf(gain), tp.Leaf(bias))))
+	})
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tp := NewTape()
+	a := tp.Const(NewMatrix(2, 2))
+	tp.Backward(a)
+}
+
+func TestConstReceivesNoUsefulGradient(t *testing.T) {
+	// Gradient into a Const node is accumulated but never visible to a
+	// parameter, so optimizing around constants must not corrupt params.
+	a := NewParam("a", 1, 1)
+	a.Value.Data[0] = 2
+	tp := NewTape()
+	c := tp.Const(FromSlice(1, 1, []float64{3}))
+	out := tp.Sum(tp.Mul(tp.Leaf(a), c))
+	tp.Backward(out)
+	if a.Grad.Data[0] != 3 {
+		t.Fatalf("dL/da = %v, want 3", a.Grad.Data[0])
+	}
+}
+
+func TestGradientsAccumulateAcrossBackward(t *testing.T) {
+	a := NewParam("a", 1, 1)
+	a.Value.Data[0] = 1
+	for i := 0; i < 2; i++ {
+		tp := NewTape()
+		out := tp.Sum(tp.Scale(tp.Leaf(a), 2))
+		tp.Backward(out)
+	}
+	if a.Grad.Data[0] != 4 {
+		t.Fatalf("accumulated grad = %v, want 4", a.Grad.Data[0])
+	}
+	a.ZeroGrad()
+	if a.Grad.Data[0] != 0 {
+		t.Fatal("ZeroGrad did not clear")
+	}
+}

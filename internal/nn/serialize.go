@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// paramJSON is the wire form of a single parameter.
+type paramJSON struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// SaveParams writes params to w as JSON, keyed by parameter name.
+func SaveParams(w io.Writer, params []*Param) error {
+	out := make([]paramJSON, 0, len(params))
+	for _, p := range params {
+		out = append(out, paramJSON{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadParams reads a JSON parameter dump from r and copies values into
+// matching (by name and shape) entries of params. Every parameter in params
+// must be present in the dump.
+func LoadParams(r io.Reader, params []*Param) error {
+	var in []paramJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	byName := make(map[string]paramJSON, len(in))
+	for _, p := range in {
+		byName[p.Name] = p
+	}
+	for _, p := range params {
+		src, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: parameter %q missing from dump", p.Name)
+		}
+		if src.Rows != p.Value.Rows || src.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: parameter %q shape mismatch: dump %d×%d vs model %d×%d",
+				p.Name, src.Rows, src.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, src.Data)
+	}
+	return nil
+}
+
+// SaveParamsFile writes params to path, creating or truncating it.
+func SaveParamsFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveParams(f, params); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile reads params from path.
+func LoadParamsFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}
+
+// CopyParams copies values from src into dst, matched positionally. Shapes
+// must agree; it is used to snapshot and restore models during experiments.
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if !dst[i].Value.SameShape(src[i].Value) {
+			return fmt.Errorf("nn: CopyParams shape mismatch at %d (%q)", i, dst[i].Name)
+		}
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+	return nil
+}

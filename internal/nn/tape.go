@@ -1,0 +1,90 @@
+package nn
+
+import "fmt"
+
+// Param is a trainable parameter: a value matrix plus a gradient accumulator
+// of the same shape. Gradients accumulate across Backward calls until an
+// optimizer (or ZeroGrad) clears them.
+type Param struct {
+	Name   string
+	Value  *Matrix
+	Grad   *Matrix
+	Frozen bool // frozen params receive no optimizer updates (gradients are still accumulated)
+}
+
+// NewParam allocates a named rows×cols parameter initialized to zero.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: NewMatrix(rows, cols), Grad: NewMatrix(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Node is a value in the autodiff graph. Nodes are created through Tape
+// operations; Grad is populated during Tape.Backward.
+//
+// NeedsGrad marks whether gradient work for this node is useful: Const
+// nodes and frozen-parameter leaves don't need it, and matrix-product ops
+// consult it to skip the expensive adjoint accumulations — this is what
+// makes LoRA fine-tuning (frozen base weights) genuinely cheaper than full
+// training. Interior nodes default to true.
+type Node struct {
+	Value     *Matrix
+	Grad      *Matrix
+	NeedsGrad bool
+	back      func()
+}
+
+// Tape records operations in execution order so that Backward can replay
+// their adjoints in reverse. A Tape is single-use per forward pass and is
+// not safe for concurrent use.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded nodes so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+func (t *Tape) record(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const introduces a matrix the graph treats as a constant: no gradient
+// flows into it.
+func (t *Tape) Const(m *Matrix) *Node {
+	return t.record(&Node{Value: m, Grad: NewMatrix(m.Rows, m.Cols)})
+}
+
+// Leaf introduces a parameter as a graph leaf. Its node gradient aliases the
+// parameter's accumulator, so Backward adds directly into p.Grad. Frozen
+// parameters get NeedsGrad=false, letting ops skip their adjoints.
+func (t *Tape) Leaf(p *Param) *Node {
+	return t.record(&Node{Value: p.Value, Grad: p.Grad, NeedsGrad: !p.Frozen})
+}
+
+// Backward seeds the gradient of the scalar output node with 1 and
+// propagates adjoints through the tape in reverse order. The output must be
+// a 1×1 node produced by this tape.
+func (t *Tape) Backward(out *Node) {
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward requires a scalar output, got %s", out.Value.shape()))
+	}
+	out.Grad.Data[0] += 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if n := t.nodes[i]; n.back != nil {
+			n.back()
+		}
+	}
+}
+
+func (t *Tape) newNode(v *Matrix, back func(n *Node)) *Node {
+	n := &Node{Value: v, Grad: NewMatrix(v.Rows, v.Cols), NeedsGrad: true}
+	if back != nil {
+		n.back = func() { back(n) }
+	}
+	return t.record(n)
+}

@@ -1,0 +1,129 @@
+package optimizer
+
+import (
+	"math"
+
+	"dace/internal/plan"
+)
+
+// CostParams are the optimizer's cost-model constants, with PostgreSQL's
+// defaults. The executor reuses these formulas with machine-calibrated
+// constants and true cardinalities to produce actual latencies, so the gap
+// between estimated cost and actual time has two real components: wrong
+// cardinalities and miscalibrated constants.
+type CostParams struct {
+	SeqPageCost      float64
+	RandomPageCost   float64
+	CPUTupleCost     float64
+	CPUIndexTupleCost float64
+	CPUOperatorCost  float64
+	// RowWidth approximates bytes per tuple when converting rows to pages.
+	RowWidth float64
+	// PageSize in bytes.
+	PageSize float64
+	// WorkMemKB, when positive, bounds the memory of hash builds and sorts:
+	// inputs larger than it spill to disk (batched hash joins, external
+	// merge sorts) and pay extra sequential IO, as in PostgreSQL. Zero
+	// disables spill modeling.
+	WorkMemKB float64
+}
+
+// DefaultCostParams returns PostgreSQL's default cost constants.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		SeqPageCost:       1.0,
+		RandomPageCost:    4.0,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.005,
+		CPUOperatorCost:   0.0025,
+		RowWidth:          100,
+		PageSize:          8192,
+	}
+}
+
+// Pages converts a row count to heap pages.
+func (p CostParams) Pages(rows float64) float64 {
+	return math.Max(1, math.Ceil(rows*p.RowWidth/p.PageSize))
+}
+
+// ScanCost returns the cost of scanning a table of tableRows rows with
+// nPreds predicates using the given access path, producing outRows.
+func (p CostParams) ScanCost(t plan.NodeType, tableRows, outRows float64, nPreds int) float64 {
+	predCPU := float64(nPreds) * p.CPUOperatorCost
+	switch t {
+	case plan.SeqScan:
+		return p.Pages(tableRows)*p.SeqPageCost + tableRows*(p.CPUTupleCost+predCPU)
+	case plan.IndexScan:
+		descent := math.Log2(math.Max(2, tableRows)) * p.CPUOperatorCost * 25
+		return descent + outRows*(p.RandomPageCost+p.CPUIndexTupleCost+predCPU)
+	case plan.IndexOnlyScan:
+		descent := math.Log2(math.Max(2, tableRows)) * p.CPUOperatorCost * 25
+		return descent + outRows*(p.CPUIndexTupleCost+predCPU) + p.Pages(outRows)*p.SeqPageCost*0.1
+	case plan.BitmapIndexScan:
+		descent := math.Log2(math.Max(2, tableRows)) * p.CPUOperatorCost * 25
+		return descent + outRows*p.CPUIndexTupleCost
+	case plan.BitmapHeapScan:
+		// Heap pages fetched in order; between sequential and random.
+		frac := math.Min(1, outRows/math.Max(1, tableRows))
+		pages := p.Pages(tableRows) * math.Min(1, 2*frac)
+		pageCost := p.SeqPageCost + (p.RandomPageCost-p.SeqPageCost)*(1-frac)
+		return math.Max(1, pages)*pageCost + outRows*(p.CPUTupleCost+predCPU)
+	}
+	panic("optimizer: ScanCost on non-scan operator " + t.String())
+}
+
+// JoinCost returns the incremental cost of the join operator itself (inputs
+// are costed separately), given input and output cardinalities.
+func (p CostParams) JoinCost(t plan.NodeType, outerRows, innerRows, outRows float64) float64 {
+	switch t {
+	case plan.NestedLoop:
+		// Inner side is re-scanned per outer row; callers account for rescan
+		// cost via MaterializeCost or an index on the inner.
+		return outerRows*innerRows*p.CPUOperatorCost*0.5 + outRows*p.CPUTupleCost
+	case plan.HashJoin:
+		// Probe cost; the build side is a separate Hash node.
+		return outerRows*p.CPUOperatorCost*1.5 + outRows*p.CPUTupleCost
+	case plan.MergeJoin:
+		return (outerRows+innerRows)*p.CPUOperatorCost + outRows*p.CPUTupleCost
+	}
+	panic("optimizer: JoinCost on non-join operator " + t.String())
+}
+
+// UnaryCost returns the incremental cost of a unary operator consuming
+// inRows and producing outRows.
+func (p CostParams) UnaryCost(t plan.NodeType, inRows, outRows float64) float64 {
+	switch t {
+	case plan.Hash:
+		base := inRows * (p.CPUOperatorCost + p.CPUTupleCost*0.5)
+		return base + p.spillCost(inRows)
+	case plan.Sort:
+		n := math.Max(2, inRows)
+		return n*math.Log2(n)*p.CPUOperatorCost*2 + p.spillCost(inRows)
+	case plan.Aggregate:
+		return inRows * p.CPUOperatorCost
+	case plan.GroupAggregate:
+		return inRows*p.CPUOperatorCost + outRows*p.CPUTupleCost
+	case plan.Materialize:
+		return inRows * p.CPUTupleCost * 0.25
+	case plan.Gather:
+		return outRows*p.CPUTupleCost*0.1 + 1000*p.CPUOperatorCost // worker startup
+	case plan.Limit:
+		return outRows * p.CPUTupleCost * 0.1
+	case plan.Result:
+		return outRows * p.CPUTupleCost * 0.05
+	}
+	panic("optimizer: UnaryCost on non-unary operator " + t.String())
+}
+
+// spillCost returns the extra IO of spilling a memory-bound operator's
+// input to disk: each spilled batch is written once and read once.
+func (p CostParams) spillCost(inRows float64) float64 {
+	if p.WorkMemKB <= 0 {
+		return 0
+	}
+	sizeKB := inRows * p.RowWidth / 1024
+	if sizeKB <= p.WorkMemKB {
+		return 0
+	}
+	return 2 * p.Pages(inRows) * p.SeqPageCost
+}

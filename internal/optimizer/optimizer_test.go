@@ -1,0 +1,308 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+func TestPlansValidateAcrossBenchmark(t *testing.T) {
+	for _, db := range schema.Benchmark20()[:6] {
+		pl := New(db)
+		for i, q := range workload.Complex(db, 60, 11) {
+			p, err := pl.Plan(q)
+			if err != nil {
+				t.Fatalf("%s query %d: %v\nSQL: %s", db.Name, i, err, q.SQL())
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s query %d produced invalid plan: %v", db.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	q := workload.Complex(db, 1, 5)[0]
+	a, err := pl.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := pl.Plan(q)
+	an, bn := a.DFS(), b.DFS()
+	if len(an) != len(bn) {
+		t.Fatal("planning not deterministic")
+	}
+	for i := range an {
+		if an[i].Type != bn[i].Type || an[i].EstCost != bn[i].EstCost {
+			t.Fatal("planning not deterministic in costs")
+		}
+	}
+}
+
+func TestCumulativeCostMonotoneUpTree(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	pl.GatherThreshold = math.Inf(1) // Gather deliberately discounts; exclude it here
+	for _, q := range workload.Complex(db, 40, 3) {
+		p, err := pl.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var walk func(n *plan.Node)
+		walk = func(n *plan.Node) {
+			for _, c := range n.Children {
+				if c.EstCost > n.EstCost+1e-9 {
+					t.Fatalf("child %s cost %.2f exceeds parent %s cost %.2f\n%s",
+						c.Type, c.EstCost, n.Type, n.EstCost, p.SQL)
+				}
+				walk(c)
+			}
+		}
+		walk(p.Root)
+	}
+}
+
+func TestScanPathSelection(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	// Unfiltered scan of a big table must be sequential.
+	c := pl.scan("cast_info", nil)
+	if c.node.Type != plan.SeqScan {
+		t.Fatalf("unfiltered scan chose %s", c.node.Type)
+	}
+	// A highly selective equality on an indexed column should avoid SeqScan.
+	sel := pl.scan("title", []plan.Predicate{{Column: "id", Op: "=", Value: 42}})
+	if sel.node.Type == plan.SeqScan {
+		t.Fatalf("selective indexed predicate still chose SeqScan (rows=%v)", sel.rows)
+	}
+	if sel.cost >= c.cost {
+		t.Fatal("index path not cheaper than scanning 36M rows")
+	}
+}
+
+func TestJoinCountMatchesQuery(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	f := func(seed int64) bool {
+		q := workload.NewGenerator(db, seed).One("x")
+		p, err := pl.Plan(q)
+		if err != nil {
+			return false
+		}
+		joins := 0
+		scans := 0
+		for _, n := range p.DFS() {
+			if n.Type.IsJoin() {
+				joins++
+			}
+			if n.Type.IsScan() && n.Type != plan.BitmapIndexScan {
+				scans++
+			}
+		}
+		return joins == len(q.Joins) && scans == len(q.Tables)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateAndLimitDecoration(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	pl.GatherThreshold = math.Inf(1)
+
+	q := &workload.Query{Database: "imdb", Tables: []string{"title"}, Filters: map[string][]plan.Predicate{}, Aggregate: true, ID: "agg"}
+	p, err := pl.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Type != plan.Aggregate || p.Root.EstRows != 1 {
+		t.Fatalf("aggregate query root = %s rows=%v", p.Root.Type, p.Root.EstRows)
+	}
+
+	q2 := &workload.Query{Database: "imdb", Tables: []string{"title"}, Filters: map[string][]plan.Predicate{}, Limit: 100, ID: "lim"}
+	p2, err := pl.Plan(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Root.Type != plan.Limit || p2.Root.EstRows != 100 {
+		t.Fatalf("limit query root = %s rows=%v", p2.Root.Type, p2.Root.EstRows)
+	}
+
+	q3 := &workload.Query{Database: "imdb", Tables: []string{"title"}, Filters: map[string][]plan.Predicate{},
+		Aggregate: true, GroupBy: "title.kind_id", ID: "grp"}
+	p3, err := pl.Plan(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Root.Type != plan.GroupAggregate && p3.Root.Type != plan.Aggregate {
+		t.Fatalf("group query root = %s", p3.Root.Type)
+	}
+	if p3.Root.EstRows <= 1 || p3.Root.EstRows > 20 {
+		t.Fatalf("group count estimate %v implausible for 7-value column", p3.Root.EstRows)
+	}
+}
+
+func TestGatherInsertedForExpensivePlans(t *testing.T) {
+	db := schema.IMDB()
+	pl := New(db)
+	pl.GatherThreshold = 1 // everything is "expensive"
+	q := workload.Complex(db, 1, 9)[0]
+	p, err := pl.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Type != plan.Gather {
+		t.Fatalf("root = %s, want Gather", p.Root.Type)
+	}
+}
+
+func TestStatsCorruptionIsBoundedAndDeterministic(t *testing.T) {
+	db := schema.IMDB()
+	s := NewStats(db)
+	tab := db.Table("title")
+	col := tab.Column("production_year")
+	n1, n2 := s.NDV(tab, col), s.NDV(tab, col)
+	if n1 != n2 {
+		t.Fatal("NDV estimate not deterministic")
+	}
+	ratio := n1 / float64(col.NDV)
+	if ratio < 0.05 || ratio > 20 {
+		t.Fatalf("NDV corruption too extreme: ratio %v", ratio)
+	}
+	r := s.RowCount(tab)
+	if rr := r / float64(tab.Rows); rr < 0.7 || rr > 1.4 {
+		t.Fatalf("row count staleness too extreme: ratio %v", rr)
+	}
+}
+
+func TestSelectivityEstimatesVsTruthDiverge(t *testing.T) {
+	// The whole premise: estimates correlate with truth but are not equal.
+	db := schema.IMDB()
+	s := NewStats(db)
+	tab := db.Table("title")
+	preds := []plan.Predicate{
+		{Column: "production_year", Op: ">", Value: 2000},
+		{Column: "kind_id", Op: "=", Value: 1},
+	}
+	est := s.ConjunctionSelectivity(tab, preds)
+	if est <= 0 || est > 1 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+}
+
+func TestJoinSelectivityEstimatePositive(t *testing.T) {
+	db := schema.IMDB()
+	s := NewStats(db)
+	for _, fk := range db.FKs {
+		sel := s.JoinSelectivity(fk)
+		if sel <= 0 || sel > 1 {
+			t.Fatalf("join selectivity %v out of range for %s", sel, fk.ChildTable)
+		}
+	}
+}
+
+func TestCostParamsPages(t *testing.T) {
+	p := DefaultCostParams()
+	if got := p.Pages(0); got != 1 {
+		t.Fatalf("Pages(0) = %v, want at least 1", got)
+	}
+	if got := p.Pages(81920); got != math.Ceil(81920*100/8192.0) {
+		t.Fatalf("Pages(81920) = %v", got)
+	}
+}
+
+func TestCostFormulaMonotoneInRows(t *testing.T) {
+	p := DefaultCostParams()
+	for _, typ := range []plan.NodeType{plan.SeqScan, plan.IndexScan, plan.BitmapHeapScan} {
+		lo := p.ScanCost(typ, 1000, 10, 1)
+		hi := p.ScanCost(typ, 100000, 1000, 1)
+		if hi <= lo {
+			t.Fatalf("%s cost not monotone in size: %v vs %v", typ, lo, hi)
+		}
+	}
+	if p.JoinCost(plan.HashJoin, 10, 10, 10) >= p.JoinCost(plan.HashJoin, 1e6, 10, 10) {
+		t.Fatal("hash join cost not monotone in probe size")
+	}
+	if p.UnaryCost(plan.Sort, 100, 100) >= p.UnaryCost(plan.Sort, 1e6, 1e6) {
+		t.Fatal("sort cost not monotone")
+	}
+}
+
+func TestWorkMemSpillCost(t *testing.T) {
+	p := DefaultCostParams()
+	inMem := p.UnaryCost(plan.Hash, 1e6, 1e6)
+	p.WorkMemKB = 1024 // 1 MB: a 100-byte × 1e6-row build (≈95 MB) must spill
+	spilled := p.UnaryCost(plan.Hash, 1e6, 1e6)
+	if spilled <= inMem {
+		t.Fatalf("spill did not add cost: %v vs %v", spilled, inMem)
+	}
+	// Small inputs fit in memory: no penalty.
+	if p.UnaryCost(plan.Hash, 100, 100) != DefaultCostParams().UnaryCost(plan.Hash, 100, 100) {
+		t.Fatal("in-memory build should cost the same with work_mem set")
+	}
+	// Sorts spill too.
+	small := p.UnaryCost(plan.Sort, 100, 100)
+	big := p.UnaryCost(plan.Sort, 1e6, 1e6)
+	noLimit := DefaultCostParams().UnaryCost(plan.Sort, 1e6, 1e6)
+	if big <= noLimit || small != DefaultCostParams().UnaryCost(plan.Sort, 100, 100) {
+		t.Fatalf("sort spill wrong: big=%v noLimit=%v", big, noLimit)
+	}
+}
+
+func TestWorkMemChangesPlanChoice(t *testing.T) {
+	// With tiny work_mem, hash builds on large inputs become expensive and
+	// the planner shifts physical operators for at least some queries.
+	db := schema.IMDB()
+	a := New(db)
+	b := New(db)
+	b.Params.WorkMemKB = 64
+	changed := false
+	for _, q := range workload.Complex(db, 300, 17) {
+		pa, err := a.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, nb := pa.DFS(), pb.DFS()
+		if len(na) != len(nb) {
+			changed = true
+			break
+		}
+		for i := range na {
+			if na[i].Type != nb[i].Type {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("work_mem pressure never changed a plan")
+	}
+}
+
+func TestCostPanicsOnWrongOperatorClass(t *testing.T) {
+	p := DefaultCostParams()
+	for _, f := range []func(){
+		func() { p.ScanCost(plan.HashJoin, 1, 1, 0) },
+		func() { p.JoinCost(plan.SeqScan, 1, 1, 1) },
+		func() { p.UnaryCost(plan.SeqScan, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for wrong operator class")
+				}
+			}()
+			f()
+		}()
+	}
+}

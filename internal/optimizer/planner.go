@@ -1,0 +1,313 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+// Planner turns workload queries into physical plans with estimated
+// cardinalities and cumulative estimated costs, Selinger-style: best access
+// path per table, dynamic programming over join orders, cheapest physical
+// join operator per edge.
+type Planner struct {
+	DB     *schema.Database
+	Stats  *Stats
+	Params CostParams
+
+	// GatherThreshold is the estimated cost above which the planner inserts
+	// a Gather node (parallel execution), as PostgreSQL does for expensive
+	// plans. Set very high to disable.
+	GatherThreshold float64
+}
+
+// New builds a planner with default PostgreSQL cost constants.
+func New(db *schema.Database) *Planner {
+	return &Planner{DB: db, Stats: NewStats(db), Params: DefaultCostParams(), GatherThreshold: 50_000}
+}
+
+// candidate is a DP entry: a partial plan with its cumulative cost and
+// estimated output cardinality.
+type candidate struct {
+	node *plan.Node
+	rows float64
+	cost float64
+}
+
+// Plan compiles q into a physical plan. The returned plan's nodes carry
+// EstRows and EstCost (cumulative, PostgreSQL-style); ActualRows/ActualMS
+// are zero until an executor labels them.
+func (pl *Planner) Plan(q *workload.Query) (*plan.Plan, error) {
+	if err := q.Validate(pl.DB); err != nil {
+		return nil, err
+	}
+	// Best access path per table.
+	base := make(map[string]candidate, len(q.Tables))
+	for _, tn := range q.Tables {
+		base[tn] = pl.scan(tn, q.Filters[tn])
+	}
+
+	best := pl.joinDP(q, base)
+
+	// Aggregation / limit decoration.
+	root := best
+	switch {
+	case q.Aggregate && q.GroupBy != "":
+		root = pl.groupAgg(q, root)
+	case q.Aggregate:
+		cost := root.cost + pl.Params.UnaryCost(plan.Aggregate, root.rows, 1)
+		root = candidate{
+			node: &plan.Node{Type: plan.Aggregate, EstRows: 1, EstCost: cost, Children: []*plan.Node{root.node}},
+			rows: 1, cost: cost,
+		}
+	case q.Limit > 0:
+		out := math.Min(float64(q.Limit), root.rows)
+		cost := root.cost + pl.Params.UnaryCost(plan.Limit, root.rows, out)
+		root = candidate{
+			node: &plan.Node{Type: plan.Limit, EstRows: out, EstCost: cost,
+				Meta: &plan.Meta{Limit: q.Limit}, Children: []*plan.Node{root.node}},
+			rows: out, cost: cost,
+		}
+	}
+
+	if root.cost > pl.GatherThreshold {
+		// Parallel plan: the optimizer believes workers cut the cost.
+		cost := root.cost*0.65 + pl.Params.UnaryCost(plan.Gather, root.rows, root.rows)
+		root = candidate{
+			node: &plan.Node{Type: plan.Gather, EstRows: root.rows, EstCost: cost, Children: []*plan.Node{root.node}},
+			rows: root.rows, cost: cost,
+		}
+	}
+
+	p := &plan.Plan{Database: pl.DB.Name, SQL: q.SQL(), Root: root.node}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: produced invalid plan: %w", err)
+	}
+	return p, nil
+}
+
+// scan picks the cheapest access path for one table.
+func (pl *Planner) scan(tableName string, preds []plan.Predicate) candidate {
+	t := pl.DB.Table(tableName)
+	tableRows := pl.Stats.RowCount(t)
+	sel := pl.Stats.ConjunctionSelectivity(t, preds)
+	outRows := math.Max(1, tableRows*sel)
+	meta := &plan.Meta{Table: tableName, Filters: preds}
+
+	bestType := plan.SeqScan
+	bestCost := pl.Params.ScanCost(plan.SeqScan, tableRows, outRows, len(preds))
+
+	// Index paths require an index on the first filter column.
+	if len(preds) > 0 && pl.Stats.HasIndex(t, preds[0].Column) {
+		if c := pl.Params.ScanCost(plan.IndexScan, tableRows, outRows, len(preds)); c < bestCost {
+			bestType, bestCost = plan.IndexScan, c
+		}
+		if c := pl.Params.ScanCost(plan.BitmapHeapScan, tableRows, outRows, len(preds)); c < bestCost {
+			bestType, bestCost = plan.BitmapHeapScan, c
+		}
+		// Index-only when every predicate touches the same indexed column.
+		sameCol := true
+		for _, p := range preds[1:] {
+			if p.Column != preds[0].Column {
+				sameCol = false
+			}
+		}
+		if sameCol {
+			if c := pl.Params.ScanCost(plan.IndexOnlyScan, tableRows, outRows, len(preds)); c < bestCost {
+				bestType, bestCost = plan.IndexOnlyScan, c
+			}
+		}
+	}
+
+	node := &plan.Node{Type: bestType, EstRows: outRows, EstCost: bestCost, Meta: meta}
+	if bestType == plan.BitmapHeapScan {
+		// PostgreSQL shape: Bitmap Heap Scan over a Bitmap Index Scan.
+		idxCost := pl.Params.ScanCost(plan.BitmapIndexScan, tableRows, outRows, len(preds))
+		node.Children = []*plan.Node{{
+			Type: plan.BitmapIndexScan, EstRows: outRows, EstCost: idxCost,
+			Meta: &plan.Meta{Table: tableName, Filters: preds},
+		}}
+		node.EstCost += idxCost
+	}
+	return candidate{node: node, rows: outRows, cost: node.EstCost}
+}
+
+// joinDP runs subset dynamic programming over left-deep and right-deep join
+// orders, choosing the cheapest physical operator per edge.
+func (pl *Planner) joinDP(q *workload.Query, base map[string]candidate) candidate {
+	n := len(q.Tables)
+	idx := make(map[string]int, n)
+	for i, t := range q.Tables {
+		idx[t] = i
+	}
+	dp := make(map[uint32]candidate, 1<<n)
+	for t, c := range base {
+		dp[1<<idx[t]] = c
+	}
+	if n == 1 {
+		return dp[1]
+	}
+
+	// Grow subsets one table at a time along FK edges.
+	for size := 2; size <= n; size++ {
+		for mask := uint32(1); mask < 1<<n; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			var best candidate
+			found := false
+			for _, fk := range q.Joins {
+				ci, pi := idx[fk.ChildTable], idx[fk.ParentTable]
+				if mask&(1<<ci) == 0 || mask&(1<<pi) == 0 {
+					continue
+				}
+				// Try splitting off either endpoint as the single table.
+				for _, single := range []int{ci, pi} {
+					rest := mask &^ (1 << single)
+					left, okL := dp[rest]
+					right, okR := dp[uint32(1<<single)]
+					if !okL || !okR || popcount(rest) != size-1 {
+						continue
+					}
+					// The FK edge must connect the single table to the rest.
+					other := pi
+					if single == pi {
+						other = ci
+					}
+					if rest&(1<<other) == 0 {
+						continue
+					}
+					c := pl.bestJoin(q, fk, left, right)
+					if !found || c.cost < best.cost {
+						best, found = c, true
+					}
+				}
+			}
+			if found {
+				if cur, ok := dp[mask]; !ok || best.cost < cur.cost {
+					dp[mask] = best
+				}
+			}
+		}
+	}
+	full := uint32(1<<n) - 1
+	c, ok := dp[full]
+	if !ok {
+		panic("optimizer: join DP found no plan for connected query")
+	}
+	return c
+}
+
+// bestJoin picks the cheapest physical join of left and right via fk,
+// considering both operand orders for hash/NL.
+func (pl *Planner) bestJoin(q *workload.Query, fk schema.ForeignKey, left, right candidate) candidate {
+	sel := pl.Stats.JoinSelectivity(fk)
+	outRows := math.Max(1, left.rows*right.rows*sel)
+	meta := &plan.Meta{
+		JoinLeft:  fk.ChildTable + "." + fk.ChildColumn,
+		JoinRight: fk.ParentTable + "." + fk.ParentColumn,
+	}
+
+	var best candidate
+	consider := func(c candidate) {
+		if best.node == nil || c.cost < best.cost {
+			best = c
+		}
+	}
+
+	for _, ord := range [2][2]candidate{{left, right}, {right, left}} {
+		outer, inner := ord[0], ord[1]
+
+		// Hash join: build side wrapped in a Hash node (smaller side inner).
+		hashCost := pl.Params.UnaryCost(plan.Hash, inner.rows, inner.rows)
+		hashNode := &plan.Node{Type: plan.Hash, EstRows: inner.rows, EstCost: inner.cost + hashCost, Children: []*plan.Node{inner.node}}
+		hjCost := outer.cost + hashNode.EstCost + pl.Params.JoinCost(plan.HashJoin, outer.rows, inner.rows, outRows)
+		consider(candidate{
+			node: &plan.Node{Type: plan.HashJoin, EstRows: outRows, EstCost: hjCost, Meta: meta,
+				Children: []*plan.Node{outer.node, hashNode}},
+			rows: outRows, cost: hjCost,
+		})
+
+		// Nested loop: only competitive with a tiny outer; inner gets
+		// materialized unless it is a bare scan.
+		innerNode, innerCost := inner.node, inner.cost
+		if len(inner.node.Children) > 0 {
+			mc := pl.Params.UnaryCost(plan.Materialize, inner.rows, inner.rows)
+			innerNode = &plan.Node{Type: plan.Materialize, EstRows: inner.rows, EstCost: inner.cost + mc, Children: []*plan.Node{inner.node}}
+			innerCost = innerNode.EstCost
+		}
+		nlCost := outer.cost + innerCost + pl.Params.JoinCost(plan.NestedLoop, outer.rows, inner.rows, outRows)
+		consider(candidate{
+			node: &plan.Node{Type: plan.NestedLoop, EstRows: outRows, EstCost: nlCost, Meta: meta,
+				Children: []*plan.Node{outer.node, innerNode}},
+			rows: outRows, cost: nlCost,
+		})
+	}
+
+	// Merge join: sort both inputs.
+	sortL := pl.Params.UnaryCost(plan.Sort, left.rows, left.rows)
+	sortR := pl.Params.UnaryCost(plan.Sort, right.rows, right.rows)
+	lNode := &plan.Node{Type: plan.Sort, EstRows: left.rows, EstCost: left.cost + sortL,
+		Meta: &plan.Meta{SortCols: []string{fk.ChildColumn}}, Children: []*plan.Node{left.node}}
+	rNode := &plan.Node{Type: plan.Sort, EstRows: right.rows, EstCost: right.cost + sortR,
+		Meta: &plan.Meta{SortCols: []string{fk.ParentColumn}}, Children: []*plan.Node{right.node}}
+	mjCost := lNode.EstCost + rNode.EstCost + pl.Params.JoinCost(plan.MergeJoin, left.rows, right.rows, outRows)
+	consider(candidate{
+		node: &plan.Node{Type: plan.MergeJoin, EstRows: outRows, EstCost: mjCost, Meta: meta,
+			Children: []*plan.Node{lNode, rNode}},
+		rows: outRows, cost: mjCost,
+	})
+
+	return best
+}
+
+// groupAgg builds Sort + GroupAggregate (or hashed Aggregate when cheaper)
+// over the join result.
+func (pl *Planner) groupAgg(q *workload.Query, in candidate) candidate {
+	table, col := splitQualified(q.GroupBy)
+	t := pl.DB.Table(table)
+	groups := pl.Stats.GroupCount(t, t.Column(col), in.rows)
+
+	sortCost := pl.Params.UnaryCost(plan.Sort, in.rows, in.rows)
+	gaCost := in.cost + sortCost + pl.Params.UnaryCost(plan.GroupAggregate, in.rows, groups)
+
+	// A hashed aggregate holds the group table in memory; it spills like a
+	// hash build when the group table exceeds work_mem.
+	hashAggCost := in.cost + pl.Params.UnaryCost(plan.Aggregate, in.rows, groups) +
+		groups*pl.Params.CPUTupleCost + pl.Params.spillCost(groups)
+
+	if hashAggCost < gaCost {
+		return candidate{
+			node: &plan.Node{Type: plan.Aggregate, EstRows: groups, EstCost: hashAggCost,
+				Meta: &plan.Meta{GroupCols: []string{q.GroupBy}}, Children: []*plan.Node{in.node}},
+			rows: groups, cost: hashAggCost,
+		}
+	}
+	sortNode := &plan.Node{Type: plan.Sort, EstRows: in.rows, EstCost: in.cost + sortCost,
+		Meta: &plan.Meta{SortCols: []string{q.GroupBy}}, Children: []*plan.Node{in.node}}
+	return candidate{
+		node: &plan.Node{Type: plan.GroupAggregate, EstRows: groups, EstCost: gaCost,
+			Meta: &plan.Meta{GroupCols: []string{q.GroupBy}}, Children: []*plan.Node{sortNode}},
+		rows: groups, cost: gaCost,
+	}
+}
+
+func splitQualified(qc string) (table, col string) {
+	for i := 0; i < len(qc); i++ {
+		if qc[i] == '.' {
+			return qc[:i], qc[i+1:]
+		}
+	}
+	return qc, ""
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

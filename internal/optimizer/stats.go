@@ -1,0 +1,141 @@
+// Package optimizer is a PostgreSQL-style cost-based query planner over the
+// simulated catalogs in internal/schema. It produces physical plan trees
+// annotated with estimated cardinality and estimated cost per node — the
+// only features DACE is allowed to see.
+//
+// Its estimates are wrong in the same mechanistic ways a real optimizer's
+// are: histogram quantization, sampled distinct counts, default
+// selectivities, the independence assumption across predicates, and
+// textbook join selectivity that ignores filter/join-key correlation. Those
+// errors — against internal/datagen's ground truth — form the "error
+// distribution of the query optimizer" (EDQO) that the paper's model learns.
+package optimizer
+
+import (
+	"math"
+
+	"dace/internal/datagen"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// histogramBuckets is the resolution of the simulated per-column histogram:
+// the optimizer knows each column's CDF only to 1/histogramBuckets.
+const histogramBuckets = 100
+
+// Stats is the optimizer's (imperfect) view of a database's statistics.
+type Stats struct {
+	DB *schema.Database
+}
+
+// NewStats builds the statistics view for db.
+func NewStats(db *schema.Database) *Stats { return &Stats{DB: db} }
+
+// RowCount returns the optimizer's believed row count: slightly stale, via
+// a deterministic per-table perturbation (ANALYZE ran a while ago).
+func (s *Stats) RowCount(t *schema.Table) float64 {
+	z := schema.HashNormal("stalerows", s.DB.Name, t.Name)
+	return math.Max(1, float64(t.Rows)*math.Exp(0.05*z))
+}
+
+// NDV returns the estimated distinct count for a column: the true NDV
+// corrupted by a deterministic lognormal sampling error, larger for larger
+// tables (distinct-count estimation degrades with table size, as in real
+// systems).
+func (s *Stats) NDV(t *schema.Table, c *schema.Column) float64 {
+	sigma := 0.25
+	if t.Rows > 1_000_000 {
+		sigma = 0.5
+	}
+	z := schema.HashNormal("ndv", s.DB.Name, t.Name, c.Name)
+	return math.Max(1, float64(c.NDV)*math.Exp(sigma*z))
+}
+
+// SelCDF returns the optimizer's estimate of P(col ≤ v): the true CDF
+// quantized to the histogram resolution. Real histograms track skew but
+// lose fine detail; quantization reproduces exactly that failure.
+func (s *Stats) SelCDF(c *schema.Column, v float64) float64 {
+	true_ := datagen.CDF(c, v)
+	q := math.Round(true_*histogramBuckets) / histogramBuckets
+	if q <= 0 {
+		q = 0.5 / histogramBuckets // never claim impossibility
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// PredicateSelectivity estimates one predicate's selectivity.
+func (s *Stats) PredicateSelectivity(t *schema.Table, p plan.Predicate) float64 {
+	c := t.Column(p.Column)
+	notNull := 1 - c.NullFrac
+	var sel float64
+	switch p.Op {
+	case "=":
+		// Equality: uniform-over-distinct assumption, with the corrupted NDV.
+		sel = 1 / s.NDV(t, c)
+	case "<", "<=":
+		sel = s.SelCDF(c, p.Value)
+	case ">", ">=":
+		sel = 1 - s.SelCDF(c, p.Value)
+		if sel <= 0 {
+			sel = 0.5 / histogramBuckets
+		}
+	default:
+		sel = 0.33 // default selectivity for unknown operators
+	}
+	return clamp(sel*notNull, 1e-9, 1)
+}
+
+// ConjunctionSelectivity multiplies per-predicate selectivities — the
+// independence assumption, the optimizer's original sin.
+func (s *Stats) ConjunctionSelectivity(t *schema.Table, preds []plan.Predicate) float64 {
+	sel := 1.0
+	for _, p := range preds {
+		sel *= s.PredicateSelectivity(t, p)
+	}
+	return clamp(sel, 1e-9, 1)
+}
+
+// JoinSelectivity estimates the selectivity of child.col = parent.col as
+// 1/max(NDV_est(child col), NDV_est(parent col)) — the textbook formula,
+// blind to any correlation with filters.
+func (s *Stats) JoinSelectivity(fk schema.ForeignKey) float64 {
+	ct, pt := s.DB.Table(fk.ChildTable), s.DB.Table(fk.ParentTable)
+	cn := s.NDV(ct, ct.Column(fk.ChildColumn))
+	pn := s.NDV(pt, pt.Column(fk.ParentColumn))
+	return clamp(1/math.Max(cn, pn), 1e-12, 1)
+}
+
+// GroupCount estimates the number of groups of a GROUP BY on a qualified
+// column, capped by the input cardinality.
+func (s *Stats) GroupCount(t *schema.Table, c *schema.Column, inputRows float64) float64 {
+	return math.Max(1, math.Min(s.NDV(t, c), inputRows))
+}
+
+// HasIndex reports whether the simulated database has a B-tree index on the
+// column. Primary keys and foreign keys are always indexed; other columns
+// are indexed with probability ~1/2, deterministically per column.
+func (s *Stats) HasIndex(t *schema.Table, col string) bool {
+	if col == "id" {
+		return true
+	}
+	for _, fk := range s.DB.FKs {
+		if (fk.ChildTable == t.Name && fk.ChildColumn == col) ||
+			(fk.ParentTable == t.Name && fk.ParentColumn == col) {
+			return true
+		}
+	}
+	return schema.HashUnit("index", s.DB.Name, t.Name, col) < 0.5
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,271 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// benchmarkNames are the 20 databases of the across-database benchmark,
+// named after the Zero-Shot benchmark suite the paper evaluates on. imdb
+// and tpc_h get hand-written catalogs (they anchor Workload 3 and the
+// data-drift experiment); the rest are generated deterministically.
+var benchmarkNames = []string{
+	"imdb", "tpc_h", "ssb", "airline", "accidents",
+	"baseball", "basketball", "carcinogenesis", "consumer", "credit",
+	"employee", "financial", "fhnk", "geneea", "genome",
+	"hepatitis", "movielens", "seznam", "tournament", "walmart",
+}
+
+// BenchmarkNames returns the names of the 20 benchmark databases in
+// canonical order.
+func BenchmarkNames() []string {
+	return append([]string(nil), benchmarkNames...)
+}
+
+// Benchmark20 builds all 20 benchmark databases. Generation is fully
+// deterministic: the same catalogs are produced on every call.
+func Benchmark20() []*Database {
+	dbs := make([]*Database, 0, len(benchmarkNames))
+	for _, name := range benchmarkNames {
+		dbs = append(dbs, BenchmarkDB(name))
+	}
+	return dbs
+}
+
+// BenchmarkDB builds one benchmark database by name.
+func BenchmarkDB(name string) *Database {
+	switch name {
+	case "imdb":
+		return IMDB()
+	case "tpc_h":
+		return TPCH(1)
+	default:
+		return generated(name)
+	}
+}
+
+// IMDB builds an IMDB-like catalog with the JOB-light join graph: a title
+// fact table referenced by five satellite tables.
+func IMDB() *Database {
+	title := &Table{
+		Name: "title", Rows: 2_528_312, Correlation: 0.45,
+		Columns: []Column{
+			{Name: "id", Dist: Uniform, Min: 1, Max: 2_528_312, NDV: 2_528_312},
+			{Name: "kind_id", Dist: Zipf, Min: 1, Max: 7, NDV: 7, Skew: 1.1},
+			{Name: "production_year", Dist: Normal, Min: 1880, Max: 2023, NDV: 143, Skew: 4.5, NullFrac: 0.03},
+			{Name: "season_nr", Dist: Zipf, Min: 1, Max: 90, NDV: 90, Skew: 1.6, NullFrac: 0.55},
+			{Name: "episode_nr", Dist: Zipf, Min: 1, Max: 2000, NDV: 1500, Skew: 1.3, NullFrac: 0.55},
+		},
+	}
+	satellite := func(name string, rows int64, corr float64, extra ...Column) *Table {
+		cols := []Column{
+			{Name: "id", Dist: Uniform, Min: 1, Max: float64(rows), NDV: rows},
+			{Name: "movie_id", Dist: Zipf, Min: 1, Max: 2_528_312, NDV: 1_800_000, Skew: 0.8},
+		}
+		return &Table{Name: name, Rows: rows, Correlation: corr, Columns: append(cols, extra...)}
+	}
+	db := &Database{
+		Name: "imdb",
+		Tables: []*Table{
+			title,
+			satellite("cast_info", 36_244_344, 0.5,
+				Column{Name: "person_id", Dist: Zipf, Min: 1, Max: 4_000_000, NDV: 4_000_000, Skew: 0.9},
+				Column{Name: "role_id", Dist: Zipf, Min: 1, Max: 11, NDV: 11, Skew: 1.2}),
+			satellite("movie_info", 14_835_720, 0.4,
+				Column{Name: "info_type_id", Dist: Zipf, Min: 1, Max: 110, NDV: 110, Skew: 1.0}),
+			satellite("movie_companies", 2_609_129, 0.35,
+				Column{Name: "company_id", Dist: Zipf, Min: 1, Max: 234_997, NDV: 234_997, Skew: 1.0},
+				Column{Name: "company_type_id", Dist: Zipf, Min: 1, Max: 2, NDV: 2, Skew: 0.5}),
+			satellite("movie_keyword", 4_523_930, 0.3,
+				Column{Name: "keyword_id", Dist: Zipf, Min: 1, Max: 134_170, NDV: 134_170, Skew: 1.1}),
+			satellite("movie_info_idx", 1_380_035, 0.3,
+				Column{Name: "info_type_id", Dist: Zipf, Min: 1, Max: 113, NDV: 113, Skew: 1.4}),
+		},
+	}
+	for _, t := range db.Tables[1:] {
+		db.FKs = append(db.FKs, ForeignKey{
+			ChildTable: t.Name, ChildColumn: "movie_id",
+			ParentTable: "title", ParentColumn: "id",
+			KeyCorr: 0.35,
+		})
+	}
+	return db
+}
+
+// TPCH builds a TPC-H-like catalog at the given scale factor (1 ≈ 1 GB).
+// Row counts scale linearly, as in the specification; it anchors the
+// data-drift experiment (Fig. 7), which evaluates models trained at one
+// scale on executions at larger scales.
+func TPCH(scale float64) *Database {
+	if scale <= 0 {
+		panic(fmt.Sprintf("schema: TPCH scale %g must be positive", scale))
+	}
+	n := func(base float64) int64 {
+		v := int64(base * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	rows := map[string]int64{
+		"region":   5,
+		"nation":   25,
+		"supplier": n(10_000),
+		"customer": n(150_000),
+		"part":     n(200_000),
+		"partsupp": n(800_000),
+		"orders":   n(1_500_000),
+		"lineitem": n(6_000_000),
+	}
+	db := &Database{
+		Name: "tpc_h",
+		Tables: []*Table{
+			{Name: "region", Rows: rows["region"], Correlation: 0.0, Columns: []Column{
+				{Name: "r_regionkey", Dist: Uniform, Min: 0, Max: 4, NDV: 5},
+			}},
+			{Name: "nation", Rows: rows["nation"], Correlation: 0.0, Columns: []Column{
+				{Name: "n_nationkey", Dist: Uniform, Min: 0, Max: 24, NDV: 25},
+				{Name: "n_regionkey", Dist: Uniform, Min: 0, Max: 4, NDV: 5},
+			}},
+			{Name: "supplier", Rows: rows["supplier"], Correlation: 0.1, Columns: []Column{
+				{Name: "s_suppkey", Dist: Uniform, Min: 1, Max: float64(rows["supplier"]), NDV: rows["supplier"]},
+				{Name: "s_nationkey", Dist: Uniform, Min: 0, Max: 24, NDV: 25},
+				{Name: "s_acctbal", Dist: Normal, Min: -1000, Max: 10000, NDV: 9999, Skew: 3},
+			}},
+			{Name: "customer", Rows: rows["customer"], Correlation: 0.15, Columns: []Column{
+				{Name: "c_custkey", Dist: Uniform, Min: 1, Max: float64(rows["customer"]), NDV: rows["customer"]},
+				{Name: "c_nationkey", Dist: Uniform, Min: 0, Max: 24, NDV: 25},
+				{Name: "c_acctbal", Dist: Normal, Min: -1000, Max: 10000, NDV: 9999, Skew: 3},
+				{Name: "c_mktsegment", Dist: Uniform, Min: 1, Max: 5, NDV: 5},
+			}},
+			{Name: "part", Rows: rows["part"], Correlation: 0.2, Columns: []Column{
+				{Name: "p_partkey", Dist: Uniform, Min: 1, Max: float64(rows["part"]), NDV: rows["part"]},
+				{Name: "p_size", Dist: Uniform, Min: 1, Max: 50, NDV: 50},
+				{Name: "p_retailprice", Dist: Normal, Min: 900, Max: 2100, NDV: 1200, Skew: 3},
+			}},
+			{Name: "partsupp", Rows: rows["partsupp"], Correlation: 0.1, Columns: []Column{
+				{Name: "ps_partkey", Dist: Uniform, Min: 1, Max: float64(rows["part"]), NDV: rows["part"]},
+				{Name: "ps_suppkey", Dist: Uniform, Min: 1, Max: float64(rows["supplier"]), NDV: rows["supplier"]},
+				{Name: "ps_availqty", Dist: Uniform, Min: 1, Max: 9999, NDV: 9999},
+			}},
+			{Name: "orders", Rows: rows["orders"], Correlation: 0.3, Columns: []Column{
+				{Name: "o_orderkey", Dist: Uniform, Min: 1, Max: float64(rows["orders"] * 4), NDV: rows["orders"]},
+				{Name: "o_custkey", Dist: Zipf, Min: 1, Max: float64(rows["customer"]), NDV: rows["customer"] * 2 / 3, Skew: 0.5},
+				{Name: "o_totalprice", Dist: Normal, Min: 800, Max: 600_000, NDV: rows["orders"] / 4, Skew: 2.5},
+				{Name: "o_orderstatus", Dist: Zipf, Min: 1, Max: 3, NDV: 3, Skew: 0.9},
+				{Name: "o_orderdate", Dist: Uniform, Min: 1992, Max: 1999, NDV: 2406},
+			}},
+			{Name: "lineitem", Rows: rows["lineitem"], Correlation: 0.35, Columns: []Column{
+				{Name: "l_orderkey", Dist: Uniform, Min: 1, Max: float64(rows["orders"] * 4), NDV: rows["orders"]},
+				{Name: "l_partkey", Dist: Zipf, Min: 1, Max: float64(rows["part"]), NDV: rows["part"], Skew: 0.3},
+				{Name: "l_suppkey", Dist: Zipf, Min: 1, Max: float64(rows["supplier"]), NDV: rows["supplier"], Skew: 0.3},
+				{Name: "l_quantity", Dist: Uniform, Min: 1, Max: 50, NDV: 50},
+				{Name: "l_extendedprice", Dist: Normal, Min: 900, Max: 105_000, NDV: rows["lineitem"] / 8, Skew: 2.8},
+				{Name: "l_discount", Dist: Uniform, Min: 0, Max: 0.1, NDV: 11},
+				{Name: "l_shipdate", Dist: Uniform, Min: 1992, Max: 1999, NDV: 2526},
+			}},
+		},
+		FKs: []ForeignKey{
+			{ChildTable: "nation", ChildColumn: "n_regionkey", ParentTable: "region", ParentColumn: "r_regionkey", KeyCorr: 0.05},
+			{ChildTable: "supplier", ChildColumn: "s_nationkey", ParentTable: "nation", ParentColumn: "n_nationkey", KeyCorr: 0.05},
+			{ChildTable: "customer", ChildColumn: "c_nationkey", ParentTable: "nation", ParentColumn: "n_nationkey", KeyCorr: 0.1},
+			{ChildTable: "partsupp", ChildColumn: "ps_partkey", ParentTable: "part", ParentColumn: "p_partkey", KeyCorr: 0.1},
+			{ChildTable: "partsupp", ChildColumn: "ps_suppkey", ParentTable: "supplier", ParentColumn: "s_suppkey", KeyCorr: 0.1},
+			{ChildTable: "orders", ChildColumn: "o_custkey", ParentTable: "customer", ParentColumn: "c_custkey", KeyCorr: 0.25},
+			{ChildTable: "lineitem", ChildColumn: "l_orderkey", ParentTable: "orders", ParentColumn: "o_orderkey", KeyCorr: 0.3},
+			{ChildTable: "lineitem", ChildColumn: "l_partkey", ParentTable: "part", ParentColumn: "p_partkey", KeyCorr: 0.2},
+			{ChildTable: "lineitem", ChildColumn: "l_suppkey", ParentTable: "supplier", ParentColumn: "s_suppkey", KeyCorr: 0.2},
+		},
+	}
+	return db
+}
+
+// generated synthesizes a database whose shape (table count, sizes, column
+// distributions, correlations, join topology) is drawn deterministically
+// from the database name, so the 18 generated benchmark members differ
+// substantially from one another — mirroring the schema diversity of the
+// Zero-Shot suite.
+func generated(name string) *Database {
+	rng := rand.New(rand.NewSource(int64(Hash64("benchdb", name))))
+	nTables := 4 + rng.Intn(12) // 4..15
+	db := &Database{Name: name}
+
+	for ti := 0; ti < nTables; ti++ {
+		// Log-uniform row counts: fact-ish tables early, dimensions later.
+		maxExp := 7.2 - 0.25*float64(ti)
+		if maxExp < 3.5 {
+			maxExp = 3.5
+		}
+		exp := 3.0 + rng.Float64()*(maxExp-3.0)
+		rows := int64(math.Pow(10, exp))
+		t := &Table{
+			Name:        fmt.Sprintf("%s_t%d", name, ti),
+			Rows:        rows,
+			Correlation: rng.Float64() * 0.7,
+		}
+		// Primary key.
+		t.Columns = append(t.Columns, Column{
+			Name: "id", Dist: Uniform, Min: 1, Max: float64(rows), NDV: rows,
+		})
+		nCols := 2 + rng.Intn(6)
+		for ci := 0; ci < nCols; ci++ {
+			c := Column{Name: fmt.Sprintf("c%d", ci)}
+			switch rng.Intn(3) {
+			case 0:
+				c.Dist = Uniform
+			case 1:
+				c.Dist = Zipf
+				c.Skew = 0.5 + rng.Float64()*1.3
+			case 2:
+				c.Dist = Normal
+				c.Skew = 2 + rng.Float64()*4
+			}
+			domain := math.Pow(10, 1+rng.Float64()*5)
+			c.Min = math.Floor(rng.Float64() * 100)
+			c.Max = c.Min + domain
+			ndv := int64(domain)
+			if ndv > rows {
+				ndv = rows
+			}
+			if ndv < 2 {
+				ndv = 2
+			}
+			c.NDV = ndv
+			if rng.Float64() < 0.2 {
+				c.NullFrac = rng.Float64() * 0.5
+			}
+			t.Columns = append(t.Columns, c)
+		}
+		db.Tables = append(db.Tables, t)
+
+		// Link to a random earlier table (snowflake-ish topology), sometimes two.
+		links := 1
+		if ti > 2 && rng.Float64() < 0.3 {
+			links = 2
+		}
+		for l := 0; l < links && ti > 0; l++ {
+			parent := db.Tables[rng.Intn(ti)]
+			fkCol := Column{
+				Name: fmt.Sprintf("fk_%s", parent.Name),
+				Dist: Zipf, Min: 1, Max: float64(parent.Rows),
+				NDV:  maxI64(1, parent.Rows*int64(30+rng.Intn(70))/100),
+				Skew: 0.3 + rng.Float64()*0.9,
+			}
+			t.Columns = append(t.Columns, fkCol)
+			db.FKs = append(db.FKs, ForeignKey{
+				ChildTable: t.Name, ChildColumn: fkCol.Name,
+				ParentTable: parent.Name, ParentColumn: "id",
+				KeyCorr: rng.Float64() * 0.6,
+			})
+		}
+	}
+	return db
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

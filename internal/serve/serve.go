@@ -1,0 +1,135 @@
+// Package serve exposes a trained DACE model over HTTP — the deployment
+// surface the paper's query-performance-prediction use case needs: a DBMS
+// or workload manager POSTs a plan and gets back predicted latencies for
+// the plan and every sub-plan, in well under a millisecond of model time.
+//
+// Endpoints:
+//
+//	POST /predict          body: plan JSON (plan.WriteJSON format)
+//	POST /predict?format=pg body: PostgreSQL EXPLAIN (FORMAT JSON) output
+//	GET  /healthz          liveness + model metadata
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dace/internal/core"
+	"dace/internal/nn"
+	"dace/internal/pgexplain"
+	"dace/internal/plan"
+)
+
+// Server wraps a model with HTTP handlers. The model can be swapped at
+// runtime (SetModel) for zero-downtime updates after fine-tuning.
+type Server struct {
+	mu    sync.RWMutex
+	model *core.Model
+}
+
+// New builds a server around a trained model.
+func New(m *core.Model) *Server { return &Server{model: m} }
+
+// SetModel atomically replaces the served model.
+func (s *Server) SetModel(m *core.Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = m
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *core.Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// Prediction is the /predict response.
+type Prediction struct {
+	RootMS   float64    `json:"root_ms"`
+	SubPlans []SubPlan  `json:"sub_plans"`
+}
+
+// SubPlan is one node's prediction, in DFS order.
+type SubPlan struct {
+	Index       int     `json:"index"`
+	Operator    string  `json:"operator"`
+	Height      int     `json:"height"`
+	EstRows     float64 `json:"est_rows"`
+	EstCost     float64 `json:"est_cost"`
+	PredictedMS float64 `json:"predicted_ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var p *plan.Plan
+	var err error
+	switch r.URL.Query().Get("format") {
+	case "", "plan":
+		p, err = plan.ReadJSON(r.Body)
+	case "pg":
+		p, err = pgexplain.Parse(r.Body, r.URL.Query().Get("database"))
+	default:
+		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if p.Root == nil {
+		http.Error(w, "plan has no root", http.StatusBadRequest)
+		return
+	}
+	m := s.Model()
+	preds := m.PredictSubPlans(p)
+	nodes := p.DFS()
+	heights := p.Heights()
+	resp := Prediction{RootMS: preds[0]}
+	for i, n := range nodes {
+		resp.SubPlans = append(resp.SubPlans, SubPlan{
+			Index: i, Operator: n.Type.String(), Height: heights[i],
+			EstRows: n.EstRows, EstCost: n.EstCost, PredictedMS: preds[i],
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// Health is the /healthz response.
+type Health struct {
+	Status      string  `json:"status"`
+	Parameters  int     `json:"parameters"`
+	SizeMB      float64 `json:"size_mb"`
+	LoRAEnabled bool    `json:"lora_enabled"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.Model()
+	writeJSON(w, Health{
+		Status:      "ok",
+		Parameters:  nn.NumParams(m.Params()),
+		SizeMB:      nn.SizeMB(m.Params()),
+		LoRAEnabled: m.LoRAEnabled(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing better to do than log-style note.
+		fmt.Fprintf(w, `{"error": %q}`, err.Error())
+	}
+}

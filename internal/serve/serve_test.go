@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/schema"
+)
+
+func trainedServer(t *testing.T) (*Server, []dataset.Sample) {
+	t.Helper()
+	samples, err := dataset.ComplexWorkload(schema.BenchmarkDB("airline"), 80, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DK, cfg.DV = 32, 32
+	cfg.Hidden = []int{32, 16, 1}
+	cfg.LoRARanks = []int{8, 4, 2}
+	cfg.Epochs = 8
+	return New(core.Train(dataset.Plans(samples), cfg)), samples
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	s, samples := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var body bytes.Buffer
+	if err := samples[0].Plan.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/predict", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.RootMS <= 0 {
+		t.Fatalf("root prediction %v", pred.RootMS)
+	}
+	if len(pred.SubPlans) != samples[0].Plan.NodeCount() {
+		t.Fatalf("got %d sub-plans, want %d", len(pred.SubPlans), samples[0].Plan.NodeCount())
+	}
+	if pred.SubPlans[0].PredictedMS != pred.RootMS {
+		t.Fatal("root sub-plan disagrees with root_ms")
+	}
+	if pred.SubPlans[0].Height != 0 {
+		t.Fatal("root height must be 0")
+	}
+}
+
+func TestPredictPGFormat(t *testing.T) {
+	s, _ := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	pg := `[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t",
+		"Total Cost": 1234.5, "Plan Rows": 10000,
+		"Actual Total Time": 40.0, "Actual Rows": 9000, "Actual Loops": 1}}]`
+	resp, err := http.Post(srv.URL+"/predict?format=pg&database=prod", "application/json", strings.NewReader(pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.SubPlans) != 1 || pred.SubPlans[0].Operator != "Seq Scan" {
+		t.Fatalf("unexpected sub-plans: %+v", pred.SubPlans)
+	}
+}
+
+func TestPredictRejectsBadRequests(t *testing.T) {
+	s, _ := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, url, body string
+		want              int
+	}{
+		{"GET", "/predict", "", http.StatusMethodNotAllowed},
+		{"POST", "/predict", "{garbage", http.StatusBadRequest},
+		{"POST", "/predict?format=xml", "{}", http.StatusBadRequest},
+		{"POST", "/predict", "{}", http.StatusBadRequest}, // no root
+		{"POST", "/predict?format=pg", "[]", http.StatusBadRequest},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.url, strings.NewReader(tc.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHealthAndHotSwap(t *testing.T) {
+	s, samples := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Parameters == 0 || h.LoRAEnabled {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+
+	// Hot-swap in a fine-tuned model; /healthz must reflect it.
+	m := s.Model()
+	m.FineTuneLoRA(dataset.Plans(samples[:40]), 2e-3, 2)
+	s.SetModel(m)
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var h2 Health
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	if !h2.LoRAEnabled || h2.Parameters <= h.Parameters {
+		t.Fatalf("hot swap not visible: %+v", h2)
+	}
+}
