@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages that gained concurrency (worker-pool training / batch inference)
+# and must stay clean under the race detector.
+RACE_PKGS := ./internal/nn ./internal/core ./internal/serve
+
+.PHONY: all fmt vet build test race bench ci
+
+all: ci
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkPredictBatch' -benchtime 3x .
+
+ci: fmt vet build test race

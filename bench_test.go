@@ -10,7 +10,9 @@ package dace_test
 // artifact, not to measure nanoseconds. The micro-benchmarks cover that.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"dace/internal/core"
@@ -190,5 +192,62 @@ func BenchmarkLoRAFineTuneEpoch(b *testing.B) {
 		m := core.Train(plans, cfg)
 		b.StartTimer()
 		m.FineTuneLoRA(plans, 2e-3, 1)
+	}
+}
+
+// BenchmarkTrainParallel measures data-parallel training throughput across
+// worker counts at QuickConfig-like scale. The trained weights are bitwise
+// identical at every worker count (per-plan gradient shards reduce in fixed
+// plan order); only wall-clock changes.
+func BenchmarkTrainParallel(b *testing.B) {
+	samples, err := dataset.ComplexWorkload(schema.IMDB(), 96, executor.M1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := dataset.Plans(samples)
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Epochs = 1
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Train(plans, cfg)
+			}
+			plansPerSec := float64(len(plans)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(plansPerSec, "plans/sec")
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures batch-inference throughput across worker
+// counts, reporting plans/sec.
+func BenchmarkPredictBatch(b *testing.B) {
+	samples, err := dataset.ComplexWorkload(schema.IMDB(), 256, executor.M1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := dataset.Plans(samples)
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 4
+	m := core.Train(plans[:64], cfg)
+	test := plans[64:]
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(test, workers)
+			}
+			plansPerSec := float64(len(test)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(plansPerSec, "plans/sec")
+		})
 	}
 }

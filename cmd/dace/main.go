@@ -109,11 +109,13 @@ func cmdTrain(args []string) {
 	epochs := fs.Int("epochs", 16, "training epochs")
 	machineName := fs.String("machine", "M1", "machine profile")
 	model := fs.String("model", "dace.json", "output model path")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = all CPUs)")
 	fs.Parse(args)
 
 	samples := collect(*dbs, *queries, *machineName)
 	cfg := core.DefaultConfig()
 	cfg.Epochs = *epochs
+	cfg.Workers = *workers
 	m := core.Train(dataset.Plans(samples), cfg)
 	f, err := os.Create(*model)
 	if err != nil {
@@ -150,13 +152,15 @@ func cmdEval(args []string) {
 	queries := fs.Int("queries", 200, "evaluation queries")
 	machineName := fs.String("machine", "M1", "machine profile")
 	lora := fs.Bool("lora", false, "model file contains LoRA adapters")
+	workers := fs.Int("workers", 0, "inference worker goroutines (0 = all CPUs)")
 	fs.Parse(args)
 
 	m := loadModel(*model, *lora)
 	samples := collect(*db, *queries, *machineName)
-	var qs []float64
-	for _, s := range samples {
-		qs = append(qs, metrics.QError(m.Predict(s.Plan), s.Plan.Root.ActualMS))
+	preds := m.PredictBatch(dataset.Plans(samples), *workers)
+	qs := make([]float64, len(samples))
+	for i, s := range samples {
+		qs[i] = metrics.QError(preds[i], s.Plan.Root.ActualMS)
 	}
 	fmt.Println(metrics.Header(*db))
 	fmt.Println(metrics.Summarize(qs).Row("DACE"))
@@ -170,9 +174,11 @@ func cmdFinetune(args []string) {
 	machineName := fs.String("machine", "M2", "machine profile to adapt to")
 	epochs := fs.Int("epochs", 16, "fine-tuning epochs")
 	out := fs.String("out", "dace_lora.json", "output model path")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = all CPUs)")
 	fs.Parse(args)
 
 	m := loadModel(*model, false)
+	m.Cfg.Workers = *workers
 	samples := collect(*dbs, *queries, *machineName)
 	m.FineTuneLoRA(dataset.Plans(samples), 2e-3, *epochs)
 	f, err := os.Create(*out)

@@ -22,6 +22,7 @@ func main() {
 	modelPath := flag.String("model", "dace.json", "trained model (dace train / dace finetune output)")
 	addr := flag.String("addr", ":8080", "listen address")
 	lora := flag.Bool("lora", false, "model file contains LoRA adapters")
+	workers := flag.Int("workers", 0, "batch-inference worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
 	m := core.NewModel(core.DefaultConfig())
@@ -38,6 +39,7 @@ func main() {
 	f.Close()
 
 	s := serve.New(m)
+	s.Workers = *workers
 	fmt.Printf("daced: serving %s on %s\n", *modelPath, *addr)
 	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
 }

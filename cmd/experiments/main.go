@@ -26,6 +26,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated artifacts: fig4,fig5,tab1,fig6,tab2,fig7,fig8,fig9,fig10,fig11,fig12 or all")
 	scale := flag.String("scale", "default", "experiment scale: quick, default, big")
 	dbs := flag.String("dbs", "", "fig5 only: comma-separated held-out databases (default: all 20)")
+	workers := flag.Int("workers", 0, "training/evaluation worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -47,6 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	cfg.Workers = *workers
 	cfg.Out = os.Stdout
 	lab := experiments.NewLab(cfg)
 

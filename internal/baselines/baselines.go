@@ -125,9 +125,14 @@ func (p *PostgreSQL) Predict(s dataset.Sample) float64 {
 }
 
 // trainLoop is the shared mini-batch Adam loop: each sample contributes a
-// scalar loss node built by lossFn on a fresh tape.
-func trainLoop(params []*nn.Param, n int, lossFn func(t *nn.Tape, i int) *nn.Node, lr float64, epochs, batch, seed int) {
+// scalar loss node built by lossFn on a per-worker tape. Minibatches fan
+// out across a worker pool (workers <= 0 selects GOMAXPROCS); every sample
+// accumulates into a private gradient shard and shards reduce in fixed
+// sample order, so the trained weights are bitwise identical for any worker
+// count. lossFn is called concurrently and must not mutate shared state.
+func trainLoop(params []*nn.Param, n int, lossFn func(t *nn.Tape, i int) *nn.Node, lr float64, epochs, batch, seed, workers int) {
 	opt := nn.NewAdam(params, lr)
+	pool := nn.NewGradPool(params, workers)
 	rng := newRng(seed)
 	order := rng.Perm(n)
 	if batch <= 0 {
@@ -140,10 +145,10 @@ func trainLoop(params []*nn.Param, n int, lossFn func(t *nn.Tape, i int) *nn.Nod
 			if end > len(order) {
 				end = len(order)
 			}
-			for _, idx := range order[b:end] {
-				t := nn.NewTape()
-				t.Backward(lossFn(t, idx))
-			}
+			idxs := order[b:end]
+			pool.Accumulate(len(idxs), func(t *nn.Tape, i int) *nn.Node {
+				return lossFn(t, idxs[i])
+			})
 			nn.ClipGradNorm(params, 5)
 			opt.Step()
 		}

@@ -235,3 +235,29 @@ func TestHashBucketStable(t *testing.T) {
 		t.Fatalf("bucket %d out of range", a)
 	}
 }
+
+// TestTrainLoopWorkerCountInvariance asserts the shared minibatch loop is
+// deterministic across worker counts: the sharded gradient reduction runs
+// in fixed sample order, so a fixed seed yields bitwise-identical weights
+// whether training used 1 worker or 4.
+func TestTrainLoopWorkerCountInvariance(t *testing.T) {
+	env, samples := testEnv(t, 60)
+	trainMSCN := func(workers int) []*nn.Param {
+		m := NewMSCN(env)
+		m.Epochs = 3
+		m.Workers = workers
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		return m.params()
+	}
+	p1, p4 := trainMSCN(1), trainMSCN(4)
+	for i := range p1 {
+		for j := range p1[i].Value.Data {
+			if p1[i].Value.Data[j] != p4[i].Value.Data[j] {
+				t.Fatalf("param %s[%d]: %v (1 worker) vs %v (4 workers)",
+					p1[i].Name, j, p1[i].Value.Data[j], p4[i].Value.Data[j])
+			}
+		}
+	}
+}

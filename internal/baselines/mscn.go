@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dace/internal/dataset"
 	"dace/internal/featurize"
@@ -33,6 +34,8 @@ type MSCN struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Workers sizes the data-parallel training pool; <= 0 means GOMAXPROCS.
+	Workers int
 
 	tableMLP, joinMLP, predMLP *nn.MLP
 	outMLP                     *nn.MLP
@@ -113,9 +116,16 @@ func (m *MSCN) sets(q *workload.Query) (tables, joins, preds *nn.Matrix) {
 		table string
 		p     plan.Predicate
 	}
+	// Iterate filter tables in sorted order: map iteration order would make
+	// the predicate-set row order (and thus training) nondeterministic.
+	tabs := make([]string, 0, len(q.Filters))
+	for t := range q.Filters {
+		tabs = append(tabs, t)
+	}
+	sort.Strings(tabs)
 	var flat []tp
-	for t, ps := range q.Filters {
-		for _, p := range ps {
+	for _, t := range tabs {
+		for _, p := range q.Filters[t] {
 			flat = append(flat, tp{t, p})
 		}
 	}
@@ -174,7 +184,7 @@ func (m *MSCN) Train(samples []dataset.Sample) error {
 		pred := m.forward(t, samples[i])
 		y := m.label.Transform(math.Log(math.Max(samples[i].Plan.Root.ActualMS, 1e-6)))
 		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{y})))))
-	}, m.LR, m.Epochs, 32, int(m.Seed))
+	}, m.LR, m.Epochs, 32, int(m.Seed), m.Workers)
 	return nil
 }
 

@@ -29,6 +29,8 @@ type QPPNet struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Workers sizes the data-parallel training pool; <= 0 means GOMAXPROCS.
+	Workers int
 
 	units [plan.NumNodeTypes]*nn.MLP
 	enc   *featurize.Encoder
@@ -132,7 +134,7 @@ func (q *QPPNet) Train(samples []dataset.Sample) error {
 		pred := q.forward(t, encoded[i], samples[i].Plan)
 		diff := t.Abs(t.Sub(pred, t.Const(encoded[i].Y)))
 		return t.Mean(diff)
-	}, q.LR, q.Epochs, 16, int(q.Seed))
+	}, q.LR, q.Epochs, 16, int(q.Seed), q.Workers)
 	return nil
 }
 

@@ -22,11 +22,11 @@ const (
 // qfLayer is one transformer encoder layer: masked tree-bias attention with
 // residual + LayerNorm, then a feed-forward block with residual + LayerNorm.
 type qfLayer struct {
-	att                  *nn.Attention
-	proj                 *nn.Dense // attention output projection
-	ff1, ff2             *nn.Dense
-	g1, b1, g2, b2       *nn.Param // layer-norm gains/biases
-	bias                 []*nn.Param // learnable b_d per distance bucket
+	att            *nn.Attention
+	proj           *nn.Dense // attention output projection
+	ff1, ff2       *nn.Dense
+	g1, b1, g2, b2 *nn.Param   // layer-norm gains/biases
+	bias           []*nn.Param // learnable b_d per distance bucket
 }
 
 // QueryFormer is the tree transformer of Zhao et al.: per-node features
@@ -40,6 +40,8 @@ type QueryFormer struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Workers sizes the data-parallel training pool; <= 0 means GOMAXPROCS.
+	Workers int
 
 	inProj    *nn.Dense
 	heightEmb *nn.Param
@@ -231,7 +233,7 @@ func (qf *QueryFormer) Train(samples []dataset.Sample) error {
 	trainLoop(qf.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
 		pred := qf.forward(t, encoded[i], structs[i], samples[i])
 		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{labels[i]})))))
-	}, qf.LR, qf.Epochs, 16, int(qf.Seed))
+	}, qf.LR, qf.Epochs, 16, int(qf.Seed), qf.Workers)
 	return nil
 }
 

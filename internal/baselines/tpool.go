@@ -30,6 +30,8 @@ type TPool struct {
 	Seed   int64
 	// CardWeight balances the auxiliary cardinality task.
 	CardWeight float64
+	// Workers sizes the data-parallel training pool; <= 0 means GOMAXPROCS.
+	Workers int
 
 	nodeMLP  *nn.MLP
 	costHead *nn.MLP
@@ -170,7 +172,7 @@ func (tp *TPool) Train(samples []dataset.Sample) error {
 		lc := t.Sum(t.Abs(t.Sub(cost, t.Const(nn.FromSlice(1, 1, []float64{yCost[i]})))))
 		lk := t.Sum(t.Abs(t.Sub(card, t.Const(nn.FromSlice(1, 1, []float64{yCard[i]})))))
 		return t.Add(lc, t.Scale(lk, tp.CardWeight))
-	}, tp.LR, tp.Epochs, 16, int(tp.Seed))
+	}, tp.LR, tp.Epochs, 16, int(tp.Seed), tp.Workers)
 	return nil
 }
 

@@ -29,6 +29,8 @@ type ZeroShot struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Workers sizes the data-parallel training pool; <= 0 means GOMAXPROCS.
+	Workers int
 
 	units   [plan.NumNodeTypes]*nn.MLP
 	readout *nn.MLP
@@ -143,7 +145,7 @@ func (z *ZeroShot) Train(samples []dataset.Sample) error {
 	trainLoop(z.params(), len(samples), func(t *nn.Tape, i int) *nn.Node {
 		pred := z.forward(t, feats[i], samples[i].Plan)
 		return t.Sum(t.Abs(t.Sub(pred, t.Const(nn.FromSlice(1, 1, []float64{labels[i]})))))
-	}, z.LR, z.Epochs, 16, int(z.Seed))
+	}, z.LR, z.Epochs, 16, int(z.Seed), z.Workers)
 	return nil
 }
 

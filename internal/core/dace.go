@@ -41,6 +41,12 @@ type Config struct {
 	Epochs    int
 	BatchSize int
 	Seed      int64
+	// Workers sizes the data-parallel goroutine pool used for minibatch
+	// gradient computation and batch inference; <= 0 means one worker per
+	// available CPU (runtime.GOMAXPROCS(0)). Results are bitwise identical
+	// for any worker count: each minibatch plan accumulates into a private
+	// gradient shard and shards reduce in fixed plan order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -225,24 +231,29 @@ func Train(plans []*plan.Plan, cfg Config) *Model {
 	return m
 }
 
-// fit runs the mini-batch Adam loop over plans.
+// fit runs the mini-batch Adam loop over plans. Each minibatch fans out to
+// a worker pool (Config.Workers): workers run forward+backward on private
+// tapes against the frozen parameter values, accumulating into per-plan
+// gradient shards that reduce in fixed plan order — so the trained weights
+// are bitwise identical for any worker count and any goroutine schedule.
 func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 	encoded := make([]*featurize.Encoded, len(plans))
-	for i, p := range plans {
-		encoded[i] = m.Enc.Encode(p)
-	}
+	nn.ParallelFor(len(plans), m.Cfg.Workers, func(i int) {
+		encoded[i] = m.Enc.Encode(plans[i])
+	})
 	// LoRA fine-tuning: the attention block is frozen, so its per-plan
 	// output is a fixed feature matrix — compute it once and train only the
 	// (adapter-augmented) head over it.
 	var cached []*nn.Matrix
 	if m.lora != nil {
 		cached = make([]*nn.Matrix, len(encoded))
-		for i, enc := range encoded {
-			cached[i] = m.attentionRaw(enc)
-		}
+		nn.ParallelFor(len(encoded), m.Cfg.Workers, func(i int) {
+			cached[i] = m.attentionRaw(encoded[i])
+		})
 	}
 	params := m.Params()
 	opt := nn.NewAdam(params, lr)
+	pool := nn.NewGradPool(params, m.Cfg.Workers)
 	rng := rand.New(rand.NewSource(m.Cfg.Seed + 7))
 	order := rng.Perm(len(encoded))
 	batch := m.Cfg.BatchSize
@@ -256,15 +267,14 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 			if end > len(order) {
 				end = len(order)
 			}
-			for _, idx := range order[b:end] {
-				t := nn.NewTape()
+			idxs := order[b:end]
+			pool.Accumulate(len(idxs), func(t *nn.Tape, i int) *nn.Node {
 				var h *nn.Matrix
 				if cached != nil {
-					h = cached[idx]
+					h = cached[idxs[i]]
 				}
-				l := m.loss(t, encoded[idx], h)
-				t.Backward(l)
-			}
+				return m.loss(t, encoded[idxs[i]], h)
+			})
 			nn.ClipGradNorm(params, 5)
 			opt.Step()
 		}
@@ -326,6 +336,29 @@ func (m *Model) predictRootRaw(enc *featurize.Encoded) float64 {
 		}
 	}
 	return h.Data[0] + m.Gamma.Value.Data[0]*enc.X.At(0, featurize.FeatureDim-2)
+}
+
+// PredictBatch predicts root latencies (ms) for many plans, fanning the
+// tape-free inference path out across workers (<= 0 selects GOMAXPROCS).
+// Every prediction is independent — the model is read-only during inference
+// — so output order matches input order and results are identical to
+// calling Predict serially.
+func (m *Model) PredictBatch(plans []*plan.Plan, workers int) []float64 {
+	out := make([]float64, len(plans))
+	nn.ParallelFor(len(plans), workers, func(i int) {
+		out[i] = m.Predict(plans[i])
+	})
+	return out
+}
+
+// PredictSubPlansBatch runs PredictSubPlans over many plans in parallel,
+// returning one DFS-ordered latency slice per plan.
+func (m *Model) PredictSubPlansBatch(plans []*plan.Plan, workers int) [][]float64 {
+	out := make([][]float64, len(plans))
+	nn.ParallelFor(len(plans), workers, func(i int) {
+		out[i] = m.PredictSubPlans(plans[i])
+	})
+	return out
 }
 
 // rowOf copies row i of a matrix into a fresh 1×cols matrix.

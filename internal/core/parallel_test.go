@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"dace/internal/executor"
+	"dace/internal/schema"
+)
+
+// paramsEqualBitwise compares every parameter of two models for exact
+// (bitwise) equality and reports the first mismatch.
+func paramsEqualBitwise(t *testing.T, a, b *Model) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("param count differs: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+				t.Fatalf("param %s[%d]: %v vs %v — training is not worker-count invariant",
+					pa[i].Name, j, pa[i].Value.Data[j], pb[i].Value.Data[j])
+			}
+		}
+	}
+}
+
+// TestTrainDeterministicAcrossWorkerCounts is the tentpole's acceptance
+// test: for a fixed seed, training with 1 worker and with 4 workers must
+// produce bitwise-identical parameters and identical predictions, because
+// per-plan gradient shards reduce in fixed plan order regardless of
+// goroutine scheduling.
+func TestTrainDeterministicAcrossWorkerCounts(t *testing.T) {
+	plans := workloadPlans(t, schema.BenchmarkDB("airline"), 80, executor.M1())
+	train := func(workers int) *Model {
+		cfg := smallConfig()
+		cfg.Epochs = 4
+		cfg.Workers = workers
+		return Train(plans, cfg)
+	}
+	m1 := train(1)
+	m4 := train(4)
+	paramsEqualBitwise(t, m1, m4)
+	for _, p := range plans[:10] {
+		if a, b := m1.Predict(p), m4.Predict(p); a != b {
+			t.Fatalf("Predict differs across worker counts: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestFineTuneLoRADeterministicAcrossWorkerCounts covers the cached-
+// attention fast path: LoRA fine-tuning must be worker-count invariant too.
+func TestFineTuneLoRADeterministicAcrossWorkerCounts(t *testing.T) {
+	m1Plans := workloadPlans(t, schema.BenchmarkDB("walmart"), 80, executor.M1())
+	m2Plans := workloadPlans(t, schema.BenchmarkDB("walmart"), 60, executor.M2())
+	tune := func(workers int) *Model {
+		cfg := smallConfig()
+		cfg.Epochs = 3
+		cfg.Workers = workers
+		m := Train(m1Plans, cfg)
+		m.FineTuneLoRA(m2Plans, 2e-3, 3)
+		return m
+	}
+	paramsEqualBitwise(t, tune(1), tune(4))
+}
+
+// TestPredictBatchMatchesSerial asserts parallel batch inference returns
+// exactly what serial Predict/PredictSubPlans return, in input order.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	plans := workloadPlans(t, schema.BenchmarkDB("airline"), 60, executor.M1())
+	cfg := smallConfig()
+	cfg.Epochs = 3
+	m := Train(plans[:40], cfg)
+
+	test := plans[40:]
+	batch := m.PredictBatch(test, 4)
+	if len(batch) != len(test) {
+		t.Fatalf("got %d predictions for %d plans", len(batch), len(test))
+	}
+	for i, p := range test {
+		if want := m.Predict(p); batch[i] != want {
+			t.Fatalf("plan %d: batch %v vs serial %v", i, batch[i], want)
+		}
+	}
+
+	subBatch := m.PredictSubPlansBatch(test, 4)
+	for i, p := range test {
+		want := m.PredictSubPlans(p)
+		if len(subBatch[i]) != len(want) {
+			t.Fatalf("plan %d: %d sub-plan predictions, want %d", i, len(subBatch[i]), len(want))
+		}
+		for j := range want {
+			if subBatch[i][j] != want[j] {
+				t.Fatalf("plan %d node %d: batch %v vs serial %v", i, j, subBatch[i][j], want[j])
+			}
+		}
+	}
+
+	if got := m.PredictBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch must predict nothing, got %v", got)
+	}
+}

@@ -45,7 +45,7 @@ func M1() Machine {
 		Name: "M1",
 		Params: optimizer.CostParams{
 			SeqPageCost:       0.7,
-			RandomPageCost:    1.6, // SSD: random IO far cheaper than the default 4.0 assumes
+			RandomPageCost:    1.6,  // SSD: random IO far cheaper than the default 4.0 assumes
 			CPUTupleCost:      0.02, // per-tuple CPU heavier than the model thinks
 			CPUIndexTupleCost: 0.004,
 			CPUOperatorCost:   0.006,

@@ -98,10 +98,10 @@ func (l *Lab) Fig4() Fig4Result {
 
 // Fig5Row is one database's leave-one-out result.
 type Fig5Row struct {
-	DB            string
-	DACE          float64 // median q-error, workload 1
-	ZeroShot      float64 // median q-error, workload 1
-	DACELoRA      float64 // median q-error, workload 2 after LoRA fine-tuning
+	DB       string
+	DACE     float64 // median q-error, workload 1
+	ZeroShot float64 // median q-error, workload 1
+	DACELoRA float64 // median q-error, workload 2 after LoRA fine-tuning
 }
 
 // Fig5Result is the across-database accuracy figure.

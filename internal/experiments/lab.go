@@ -21,6 +21,7 @@ import (
 	"dace/internal/dataset"
 	"dace/internal/executor"
 	"dace/internal/metrics"
+	"dace/internal/nn"
 	"dace/internal/schema"
 	"dace/internal/workload"
 )
@@ -41,6 +42,10 @@ type Config struct {
 	// Epochs for baseline training; DACE uses DACEEpochs.
 	Epochs     int
 	DACEEpochs int
+	// Workers sizes the data-parallel pools used for DACE training and
+	// test-set evaluation; <= 0 means one worker per CPU. Any value yields
+	// bitwise-identical trained models (see nn.GradPool).
+	Workers int
 	// Out receives the printed tables (default os.Stdout).
 	Out io.Writer
 }
@@ -76,9 +81,9 @@ func QuickConfig() Config {
 // Lab caches databases, workloads, and the environment shared by all
 // experiment drivers.
 type Lab struct {
-	Cfg  Config
-	DBs  []*schema.Database
-	Env  *baselines.Env
+	Cfg    Config
+	DBs    []*schema.Database
+	Env    *baselines.Env
 	byName map[string]*schema.Database
 	cache  map[string][]dataset.Sample
 }
@@ -204,11 +209,13 @@ func W3Splits() []workload.MSCNSplit {
 }
 
 // Evaluate computes the q-error summary of an estimator over samples.
+// Predictions are independent model-read-only computations, so they fan out
+// across every CPU; the summary is order-insensitive by construction.
 func Evaluate(e baselines.Estimator, samples []dataset.Sample) metrics.Summary {
-	qs := make([]float64, 0, len(samples))
-	for _, s := range samples {
-		qs = append(qs, metrics.QError(e.Predict(s), s.Plan.Root.ActualMS))
-	}
+	qs := make([]float64, len(samples))
+	nn.ParallelFor(len(samples), 0, func(i int) {
+		qs[i] = metrics.QError(e.Predict(samples[i]), samples[i].Plan.Root.ActualMS)
+	})
 	return metrics.Summarize(qs)
 }
 
@@ -249,6 +256,7 @@ func (d *DACEEstimator) SizeMB() float64 {
 func (l *Lab) TrainDACE(samples []dataset.Sample, mutate func(*core.Config)) *core.Model {
 	cfg := core.DefaultConfig()
 	cfg.Epochs = l.Cfg.DACEEpochs
+	cfg.Workers = l.Cfg.Workers
 	if mutate != nil {
 		mutate(&cfg)
 	}

@@ -6,14 +6,14 @@ import "math"
 // of parameters. Frozen parameters are skipped, which is how LoRA
 // fine-tuning trains only the adapters.
 type Adam struct {
-	LR      float64
-	Beta1   float64
-	Beta2   float64
-	Eps     float64
-	WDecay  float64 // decoupled weight decay (AdamW); 0 disables
-	params  []*Param
-	m, v    []*Matrix
-	step    int
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	WDecay float64 // decoupled weight decay (AdamW); 0 disables
+	params []*Param
+	m, v   []*Matrix
+	step   int
 }
 
 // NewAdam builds an optimizer over params with the given learning rate and

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across up to `workers`
+// goroutines (resolved via Workers). Work is handed out by an atomic
+// counter, so load balances regardless of per-item cost; fn must be safe to
+// call concurrently and should write only to item-i state. All calls have
+// completed when ParallelFor returns.
+func ParallelFor(n, workers int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GradPool is the data-parallel minibatch gradient engine: it fans a
+// minibatch's loss computations out to a goroutine pool, giving every
+// minibatch item a private gradient shard (one buffer per Param), and then
+// reduces the shards into each Param.Grad in fixed param-then-item order.
+//
+// Because every item accumulates into its own shard and the reduction order
+// depends only on the item index — never on goroutine scheduling — the
+// summed gradient is bitwise identical for any worker count, including 1.
+// Forward passes read parameter values that stay frozen for the duration of
+// an Accumulate call (the optimizer steps only after reduction), so the
+// per-item computations are pure and race-free.
+//
+// Shard buffers and tapes are retained across calls and grow to the largest
+// batch seen, so steady-state training does no per-batch allocation of
+// gradient storage.
+type GradPool struct {
+	params  []*Param
+	index   map[*Param]int
+	workers int
+	shards  [][]*Matrix // shards[item][paramIdx]
+	tapes   []*Tape
+}
+
+// NewGradPool builds a pool over params. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewGradPool(params []*Param, workers int) *GradPool {
+	g := &GradPool{params: params, workers: Workers(workers), index: make(map[*Param]int, len(params))}
+	for i, p := range params {
+		g.index[p] = i
+	}
+	return g
+}
+
+// grow ensures at least n shard slots exist.
+func (g *GradPool) grow(n int) {
+	for len(g.shards) < n {
+		bufs := make([]*Matrix, len(g.params))
+		for i, p := range g.params {
+			bufs[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+		g.shards = append(g.shards, bufs)
+		g.tapes = append(g.tapes, NewTape())
+	}
+}
+
+// Accumulate runs lossFn for every item in [0, n) — forward and backward on
+// a per-item tape whose parameter gradients land in that item's shard — and
+// reduces all shards into Param.Grad (adding to whatever is already there,
+// like serial Backward calls would). lossFn must build the graph on the
+// given tape and return its scalar loss node; it is called concurrently and
+// must not mutate shared state.
+func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) {
+	if n <= 0 {
+		return
+	}
+	g.grow(n)
+	ParallelFor(n, g.workers, func(i int) {
+		bufs := g.shards[i]
+		for _, b := range bufs {
+			b.Zero()
+		}
+		t := g.tapes[i]
+		t.Reset()
+		t.SetLeafGrads(func(p *Param) *Matrix {
+			if j, ok := g.index[p]; ok {
+				return bufs[j]
+			}
+			return nil
+		})
+		t.Backward(lossFn(t, i))
+	})
+	// Deterministic reduction: fixed param-then-item order, independent of
+	// which worker computed what when.
+	for pi, p := range g.params {
+		for s := 0; s < n; s++ {
+			AddInPlace(p.Grad, g.shards[s][pi])
+		}
+	}
+}

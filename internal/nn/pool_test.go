@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("auto worker count must be at least 1")
+	}
+}
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {100, 4}, {5, 100},
+	} {
+		hits := make([]int64, tc.n)
+		ParallelFor(tc.n, tc.workers, func(i int) {
+			atomic.AddInt64(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d ran %d times", tc.n, tc.workers, i, h)
+			}
+		}
+	}
+}
+
+// poolFixture builds a tiny MLP (including a frozen parameter, which still
+// receives gradients through non-matmul adjoints) plus a batch of inputs and
+// targets, mirroring how the estimators drive trainLoop.
+func poolFixture(seed int64) (mlp *MLP, gamma *Param, xs []*Matrix, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	mlp = NewMLP("t", 5, []int{8, 1}, rng)
+	gamma = NewParam("t.gamma", 1, 1)
+	gamma.Value.Data[0] = 0.5
+	gamma.Frozen = true
+	for i := 0; i < 9; i++ {
+		x := NewMatrix(1, 5)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, rng.NormFloat64())
+	}
+	return mlp, gamma, xs, ys
+}
+
+// fixtureLoss records |mlp(x) + γ·x₀ − y| on t for item i.
+func fixtureLoss(t *Tape, mlp *MLP, gamma *Param, xs []*Matrix, ys []float64, i int) *Node {
+	pred := mlp.Apply(t, t.Const(xs[i]))
+	pred = t.Add(pred, t.ScaleConst(t.Leaf(gamma), FromSlice(1, 1, []float64{xs[i].Data[0]})))
+	return t.Sum(t.Abs(t.Sub(pred, t.Const(FromSlice(1, 1, []float64{ys[i]})))))
+}
+
+func grads(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Grad.Data...)
+	}
+	return out
+}
+
+// TestGradPoolMatchesSerialGradient is the gradcheck-style reduction test:
+// the sharded sum must equal the mathematically identical serial gradient —
+// bitwise when summed per item in the same order, and to tight floating-
+// point tolerance against direct tape accumulation.
+func TestGradPoolMatchesSerialGradient(t *testing.T) {
+	mlp, gamma, xs, ys := poolFixture(11)
+	params := append(mlp.Params(), gamma)
+	lossFn := func(tp *Tape, i int) *Node { return fixtureLoss(tp, mlp, gamma, xs, ys, i) }
+
+	// Reference: direct serial accumulation into Param.Grad, the pre-pool
+	// training-loop behavior.
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	for i := range xs {
+		tape := NewTape()
+		tape.Backward(lossFn(tape, i))
+	}
+	serial := grads(params)
+
+	// Sharded reduction, single worker.
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	pool := NewGradPool(params, 1)
+	pool.Accumulate(len(xs), lossFn)
+	sharded := grads(params)
+
+	for pi := range params {
+		for j := range serial[pi] {
+			diff := math.Abs(serial[pi][j] - sharded[pi][j])
+			scale := math.Max(1, math.Abs(serial[pi][j]))
+			if diff/scale > 1e-12 {
+				t.Fatalf("param %s[%d]: serial %v vs sharded %v", params[pi].Name, j, serial[pi][j], sharded[pi][j])
+			}
+		}
+	}
+	// The frozen parameter's gradient flows through ScaleConst regardless of
+	// Frozen, and the shard reduction must preserve that (ClipGradNorm sees
+	// it); a silently dropped frozen shard would change clipping behavior.
+	if gamma.Grad.Data[0] == 0 {
+		t.Fatal("frozen parameter's gradient lost in reduction")
+	}
+}
+
+// TestGradPoolWorkerCountInvariance asserts the tentpole's determinism
+// guarantee at the nn layer: any worker count produces bitwise-identical
+// reduced gradients, because shards reduce in fixed param-then-item order.
+func TestGradPoolWorkerCountInvariance(t *testing.T) {
+	mlp, gamma, xs, ys := poolFixture(13)
+	params := append(mlp.Params(), gamma)
+	lossFn := func(tp *Tape, i int) *Node { return fixtureLoss(tp, mlp, gamma, xs, ys, i) }
+
+	var want [][]float64
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		pool := NewGradPool(params, workers)
+		// Run twice to exercise shard reuse (buffers must be re-zeroed).
+		pool.Accumulate(len(xs), lossFn)
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		pool.Accumulate(len(xs), lossFn)
+		got := grads(params)
+		if want == nil {
+			want = got
+			continue
+		}
+		for pi := range params {
+			for j := range want[pi] {
+				if want[pi][j] != got[pi][j] {
+					t.Fatalf("workers=%d: param %s[%d] = %v, want bitwise %v",
+						workers, params[pi].Name, j, got[pi][j], want[pi][j])
+				}
+			}
+		}
+	}
+}
+
+// TestGradPoolAgainstGradCheck ties the sharded gradient to finite
+// differences: the reduced gradient of a summed loss must match numeric
+// differentiation, proving the redirect changes where gradients land, not
+// what they are.
+func TestGradPoolAgainstGradCheck(t *testing.T) {
+	mlp, gamma, xs, ys := poolFixture(17)
+	params := mlp.Params() // GradCheck perturbs trainable params only
+	sumLoss := func(tp *Tape) *Node {
+		total := fixtureLoss(tp, mlp, gamma, xs, ys, 0)
+		for i := 1; i < len(xs); i++ {
+			total = tp.Add(total, fixtureLoss(tp, mlp, gamma, xs, ys, i))
+		}
+		return total
+	}
+	if worst := GradCheck(params, sumLoss); worst > 1e-6 {
+		t.Fatalf("analytic gradient fails finite differences: %v", worst)
+	}
+	// GradCheck validated tape gradients of the summed loss; now confirm the
+	// pool's per-item sharding reproduces them.
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	tape := NewTape()
+	tape.Backward(sumLoss(tape))
+	want := grads(params)
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	pool := NewGradPool(append(mlp.Params(), gamma), 4)
+	pool.Accumulate(len(xs), func(tp *Tape, i int) *Node {
+		return fixtureLoss(tp, mlp, gamma, xs, ys, i)
+	})
+	for pi, p := range params {
+		for j := range want[pi] {
+			diff := math.Abs(want[pi][j] - p.Grad.Data[j])
+			scale := math.Max(1, math.Abs(want[pi][j]))
+			if diff/scale > 1e-12 {
+				t.Fatalf("param %s[%d]: summed-tape %v vs pool %v", p.Name, j, want[pi][j], p.Grad.Data[j])
+			}
+		}
+	}
+}

@@ -37,16 +37,27 @@ type Node struct {
 
 // Tape records operations in execution order so that Backward can replay
 // their adjoints in reverse. A Tape is single-use per forward pass and is
-// not safe for concurrent use.
+// not safe for concurrent use; concurrent training uses one tape per worker
+// with SetLeafGrads redirecting parameter gradients into private shards.
 type Tape struct {
-	nodes []*Node
+	nodes    []*Node
+	leafGrad func(p *Param) *Matrix
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset discards all recorded nodes so the tape can be reused.
+// Reset discards all recorded nodes so the tape can be reused. The leaf
+// gradient redirect (SetLeafGrads) is kept.
 func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// SetLeafGrads redirects where Leaf accumulates parameter gradients: when
+// fn returns a non-nil matrix for a parameter, Backward adds that
+// parameter's adjoint there instead of into Param.Grad. This is how
+// GradPool gives each concurrent worker a private gradient shard while the
+// shared Param structs stay read-only during the batch. Pass nil to restore
+// direct accumulation.
+func (t *Tape) SetLeafGrads(fn func(p *Param) *Matrix) { t.leafGrad = fn }
 
 func (t *Tape) record(n *Node) *Node {
 	t.nodes = append(t.nodes, n)
@@ -63,7 +74,13 @@ func (t *Tape) Const(m *Matrix) *Node {
 // parameter's accumulator, so Backward adds directly into p.Grad. Frozen
 // parameters get NeedsGrad=false, letting ops skip their adjoints.
 func (t *Tape) Leaf(p *Param) *Node {
-	return t.record(&Node{Value: p.Value, Grad: p.Grad, NeedsGrad: !p.Frozen})
+	g := p.Grad
+	if t.leafGrad != nil {
+		if s := t.leafGrad(p); s != nil {
+			g = s
+		}
+	}
+	return t.record(&Node{Value: p.Value, Grad: g, NeedsGrad: !p.Frozen})
 }
 
 // Backward seeds the gradient of the scalar output node with 1 and

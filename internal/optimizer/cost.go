@@ -12,11 +12,11 @@ import (
 // between estimated cost and actual time has two real components: wrong
 // cardinalities and miscalibrated constants.
 type CostParams struct {
-	SeqPageCost      float64
-	RandomPageCost   float64
-	CPUTupleCost     float64
+	SeqPageCost       float64
+	RandomPageCost    float64
+	CPUTupleCost      float64
 	CPUIndexTupleCost float64
-	CPUOperatorCost  float64
+	CPUOperatorCost   float64
 	// RowWidth approximates bytes per tuple when converting rows to pages.
 	RowWidth float64
 	// PageSize in bytes.

@@ -47,48 +47,48 @@ type explainNode struct {
 // Operators outside the paper's vocabulary degrade to the nearest analogue
 // rather than failing, so arbitrary real plans remain scorable.
 var nodeTypes = map[string]plan.NodeType{
-	"Seq Scan":                 plan.SeqScan,
-	"Index Scan":               plan.IndexScan,
-	"Index Only Scan":          plan.IndexOnlyScan,
-	"Bitmap Heap Scan":         plan.BitmapHeapScan,
-	"Bitmap Index Scan":        plan.BitmapIndexScan,
-	"Nested Loop":              plan.NestedLoop,
-	"Hash Join":                plan.HashJoin,
-	"Merge Join":               plan.MergeJoin,
-	"Hash":                     plan.Hash,
-	"Sort":                     plan.Sort,
-	"Incremental Sort":         plan.Sort,
-	"Aggregate":                plan.Aggregate,
-	"GroupAggregate":           plan.GroupAggregate,
-	"HashAggregate":            plan.Aggregate,
-	"WindowAgg":                plan.Aggregate,
-	"Materialize":              plan.Materialize,
-	"Memoize":                  plan.Materialize,
-	"Gather":                   plan.Gather,
-	"Gather Merge":             plan.Gather,
-	"Limit":                    plan.Limit,
-	"Result":                   plan.Result,
-	"Append":                   plan.Result,
-	"Merge Append":             plan.Result,
-	"Unique":                   plan.Aggregate,
-	"CTE Scan":                 plan.SeqScan,
-	"Subquery Scan":            plan.SeqScan,
-	"Function Scan":            plan.SeqScan,
-	"Values Scan":              plan.Result,
-	"Foreign Scan":             plan.SeqScan,
-	"Tid Scan":                 plan.IndexScan,
-	"Sample Scan":              plan.SeqScan,
-	"WorkTable Scan":           plan.SeqScan,
-	"Recursive Union":          plan.Result,
-	"SetOp":                    plan.Aggregate,
-	"LockRows":                 plan.Result,
-	"ProjectSet":               plan.Result,
-	"Hash Setop":               plan.Aggregate,
-	"Group":                    plan.GroupAggregate,
-	"BitmapAnd":                plan.BitmapIndexScan,
-	"BitmapOr":                 plan.BitmapIndexScan,
-	"Nested Loop Semi Join":    plan.NestedLoop,
-	"Nested Loop Anti Join":    plan.NestedLoop,
+	"Seq Scan":              plan.SeqScan,
+	"Index Scan":            plan.IndexScan,
+	"Index Only Scan":       plan.IndexOnlyScan,
+	"Bitmap Heap Scan":      plan.BitmapHeapScan,
+	"Bitmap Index Scan":     plan.BitmapIndexScan,
+	"Nested Loop":           plan.NestedLoop,
+	"Hash Join":             plan.HashJoin,
+	"Merge Join":            plan.MergeJoin,
+	"Hash":                  plan.Hash,
+	"Sort":                  plan.Sort,
+	"Incremental Sort":      plan.Sort,
+	"Aggregate":             plan.Aggregate,
+	"GroupAggregate":        plan.GroupAggregate,
+	"HashAggregate":         plan.Aggregate,
+	"WindowAgg":             plan.Aggregate,
+	"Materialize":           plan.Materialize,
+	"Memoize":               plan.Materialize,
+	"Gather":                plan.Gather,
+	"Gather Merge":          plan.Gather,
+	"Limit":                 plan.Limit,
+	"Result":                plan.Result,
+	"Append":                plan.Result,
+	"Merge Append":          plan.Result,
+	"Unique":                plan.Aggregate,
+	"CTE Scan":              plan.SeqScan,
+	"Subquery Scan":         plan.SeqScan,
+	"Function Scan":         plan.SeqScan,
+	"Values Scan":           plan.Result,
+	"Foreign Scan":          plan.SeqScan,
+	"Tid Scan":              plan.IndexScan,
+	"Sample Scan":           plan.SeqScan,
+	"WorkTable Scan":        plan.SeqScan,
+	"Recursive Union":       plan.Result,
+	"SetOp":                 plan.Aggregate,
+	"LockRows":              plan.Result,
+	"ProjectSet":            plan.Result,
+	"Hash Setop":            plan.Aggregate,
+	"Group":                 plan.GroupAggregate,
+	"BitmapAnd":             plan.BitmapIndexScan,
+	"BitmapOr":              plan.BitmapIndexScan,
+	"Nested Loop Semi Join": plan.NestedLoop,
+	"Nested Loop Anti Join": plan.NestedLoop,
 }
 
 // MapNodeType resolves a PostgreSQL node-type string, reporting whether it

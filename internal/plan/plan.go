@@ -84,14 +84,14 @@ type Predicate struct {
 // DACE never reads Meta (it learns only from estimates); the simulated
 // executor and the data-characteristic baselines (MSCN, TPool, Zero-Shot) do.
 type Meta struct {
-	Table      string      `json:"table,omitempty"`
-	Filters    []Predicate `json:"filters,omitempty"`
-	JoinLeft   string      `json:"join_left,omitempty"`  // qualified column, e.g. "title.id"
-	JoinRight  string      `json:"join_right,omitempty"` // qualified column
-	SortCols   []string    `json:"sort_cols,omitempty"`
-	GroupCols  []string    `json:"group_cols,omitempty"`
-	Limit      int         `json:"limit,omitempty"`
-	TrueSel    float64     `json:"-"` // cached by the true-cardinality oracle
+	Table     string      `json:"table,omitempty"`
+	Filters   []Predicate `json:"filters,omitempty"`
+	JoinLeft  string      `json:"join_left,omitempty"`  // qualified column, e.g. "title.id"
+	JoinRight string      `json:"join_right,omitempty"` // qualified column
+	SortCols  []string    `json:"sort_cols,omitempty"`
+	GroupCols []string    `json:"group_cols,omitempty"`
+	Limit     int         `json:"limit,omitempty"`
+	TrueSel   float64     `json:"-"` // cached by the true-cardinality oracle
 }
 
 // Node is one operator in a physical plan tree. EstRows and EstCost are the

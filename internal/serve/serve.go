@@ -5,14 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /predict          body: plan JSON (plan.WriteJSON format)
-//	POST /predict?format=pg body: PostgreSQL EXPLAIN (FORMAT JSON) output
-//	GET  /healthz          liveness + model metadata
+//	POST /predict                body: plan JSON (plan.WriteJSON format)
+//	POST /predict?format=pg      body: PostgreSQL EXPLAIN (FORMAT JSON) output
+//	POST /predict/batch          body: JSON array of plans (either format)
+//	GET  /healthz                liveness + model metadata
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"sync"
 
@@ -27,6 +28,10 @@ import (
 type Server struct {
 	mu    sync.RWMutex
 	model *core.Model
+
+	// Workers sizes the inference pool used by /predict/batch; <= 0 means
+	// one worker per CPU. Set before serving starts.
+	Workers int
 }
 
 // New builds a server around a trained model.
@@ -50,14 +55,15 @@ func (s *Server) Model() *core.Model {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
 
 // Prediction is the /predict response.
 type Prediction struct {
-	RootMS   float64    `json:"root_ms"`
-	SubPlans []SubPlan  `json:"sub_plans"`
+	RootMS   float64   `json:"root_ms"`
+	SubPlans []SubPlan `json:"sub_plans"`
 }
 
 // SubPlan is one node's prediction, in DFS order.
@@ -75,16 +81,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var p *plan.Plan
-	var err error
-	switch r.URL.Query().Get("format") {
-	case "", "plan":
-		p, err = plan.ReadJSON(r.Body)
-	case "pg":
-		p, err = pgexplain.Parse(r.Body, r.URL.Query().Get("database"))
-	default:
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "plan" && format != "pg" {
 		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
 		return
+	}
+	var p *plan.Plan
+	var err error
+	if format == "pg" {
+		p, err = pgexplain.Parse(r.Body, r.URL.Query().Get("database"))
+	} else {
+		p, err = plan.ReadJSON(r.Body)
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -95,16 +102,71 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.Model()
-	preds := m.PredictSubPlans(p)
+	writeJSON(w, predictionOf(m, p))
+}
+
+// predictionOf builds the response document for one plan. SubPlans is
+// always a non-nil slice so the JSON field encodes as [] rather than null.
+func predictionOf(m *core.Model, p *plan.Plan) Prediction {
 	nodes := p.DFS()
+	resp := Prediction{SubPlans: make([]SubPlan, 0, len(nodes))}
+	if len(nodes) == 0 {
+		return resp
+	}
+	preds := m.PredictSubPlans(p)
 	heights := p.Heights()
-	resp := Prediction{RootMS: preds[0]}
+	resp.RootMS = preds[0]
 	for i, n := range nodes {
 		resp.SubPlans = append(resp.SubPlans, SubPlan{
 			Index: i, Operator: n.Type.String(), Height: heights[i],
 			EstRows: n.EstRows, EstCost: n.EstCost, PredictedMS: preds[i],
 		})
 	}
+	return resp
+}
+
+// handlePredictBatch predicts a JSON array of plans in one request,
+// fanning inference out across the server's worker pool. The response is a
+// JSON array of Prediction documents in input order.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "plan" && format != "pg" {
+		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plans := make([]*plan.Plan, len(raw))
+	for i, msg := range raw {
+		var p *plan.Plan
+		var err error
+		if format == "pg" {
+			p, err = pgexplain.Parse(bytes.NewReader(msg), r.URL.Query().Get("database"))
+		} else {
+			p, err = plan.ReadJSON(bytes.NewReader(msg))
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if p.Root == nil {
+			http.Error(w, "plan has no root", http.StatusBadRequest)
+			return
+		}
+		plans[i] = p
+	}
+	m := s.Model()
+	resp := make([]Prediction, len(plans))
+	nn.ParallelFor(len(plans), s.Workers, func(i int) {
+		resp[i] = predictionOf(m, plans[i])
+	})
 	writeJSON(w, resp)
 }
 
@@ -117,6 +179,10 @@ type Health struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	m := s.Model()
 	writeJSON(w, Health{
 		Status:      "ok",
@@ -126,10 +192,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeJSON buffers the whole encode before touching the ResponseWriter,
+// so an encode failure yields a clean 500 rather than a second JSON object
+// appended to a partially written body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already out; nothing better to do than log-style note.
-		fmt.Fprintf(w, `{"error": %q}`, err.Error())
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }

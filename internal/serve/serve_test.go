@@ -150,3 +150,100 @@ func TestHealthAndHotSwap(t *testing.T) {
 		t.Fatalf("hot swap not visible: %+v", h2)
 	}
 }
+
+func TestPredictBatchEndpoint(t *testing.T) {
+	s, samples := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const n = 6
+	var body bytes.Buffer
+	body.WriteString("[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body.WriteString(",")
+		}
+		if err := samples[i].Plan.WriteJSON(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body.WriteString("]")
+	resp, err := http.Post(srv.URL+"/predict/batch", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var preds []Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&preds); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != n {
+		t.Fatalf("got %d predictions, want %d", len(preds), n)
+	}
+	for i, pred := range preds {
+		// Batch output must match the single-plan endpoint exactly and
+		// preserve input order.
+		if want := s.Model().Predict(samples[i].Plan); pred.RootMS != want {
+			t.Fatalf("plan %d: batch %v vs serial %v", i, pred.RootMS, want)
+		}
+		if len(pred.SubPlans) != samples[i].Plan.NodeCount() {
+			t.Fatalf("plan %d: %d sub-plans, want %d", i, len(pred.SubPlans), samples[i].Plan.NodeCount())
+		}
+	}
+}
+
+func TestPredictBatchRejectsBadRequests(t *testing.T) {
+	s, _ := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, url, body string
+		want              int
+	}{
+		{"GET", "/predict/batch", "[]", http.StatusMethodNotAllowed},
+		{"POST", "/predict/batch", "{not an array}", http.StatusBadRequest},
+		{"POST", "/predict/batch", `[{}]`, http.StatusBadRequest}, // plan with no root
+		{"POST", "/predict/batch?format=xml", "[]", http.StatusBadRequest},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.url, strings.NewReader(tc.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.url, resp.StatusCode, tc.want)
+		}
+	}
+
+	// An empty batch is valid and returns an empty JSON array, not null.
+	resp, err := http.Post(srv.URL+"/predict/batch", "application/json", strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if got := strings.TrimSpace(raw.String()); got != "[]" {
+		t.Fatalf("empty batch body %q, want []", got)
+	}
+}
+
+func TestHealthRejectsNonGET(t *testing.T) {
+	s, _ := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+}
