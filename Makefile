@@ -1,8 +1,9 @@
 GO ?= go
 
-# Packages that gained concurrency (worker-pool training / batch inference)
-# and must stay clean under the race detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/serve
+# Packages that gained concurrency (worker-pool training / batch inference,
+# pooled tapes and scratch encoders) and must stay clean under the race
+# detector.
+RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/baselines
 
 .PHONY: all fmt vet build test race bench ci
 
@@ -22,9 +23,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -timeout 45m $(RACE_PKGS)
 
+# The alloc/GC-aware harness: fixed seed, warmup, and ReadMemStats capture.
+# Writes BENCH_<date>.json and prints a Markdown report with deltas against
+# the PR 1 baseline (or -baseline <file>).
 bench:
+	$(GO) run ./cmd/bench -quick
+
+# The raw go-test benchmarks (heavier; regenerates paper artifacts too with
+# `-bench .`).
+bench-test:
 	$(GO) test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkPredictBatch' -benchtime 3x .
 
 ci: fmt vet build test race

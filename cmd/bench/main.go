@@ -1,0 +1,267 @@
+// Command bench is the repeatable performance harness for the DACE hot
+// paths: training throughput, single-plan and batch inference, and sub-plan
+// inference. Unlike `go test -bench`, it fixes the workload seed, separates
+// warmup from measurement, and captures allocation and GC behaviour
+// (runtime.ReadMemStats deltas) alongside throughput — the numbers the
+// allocation-free-hot-path work is judged by.
+//
+// Usage:
+//
+//	go run ./cmd/bench -quick                 # CI-scale run
+//	go run ./cmd/bench -runs 5 -warmup 2      # full run
+//	go run ./cmd/bench -baseline BENCH_x.json # delta against a saved run
+//
+// Each invocation writes BENCH_<date>.json (machine-readable) and prints a
+// Markdown report with benchstat-style deltas against the baseline (a prior
+// JSON file, or the built-in PR 1 reference numbers).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/schema"
+)
+
+// Result is one scenario's measured performance.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	OpsPerRun   int     `json:"ops_per_run"`
+	PlansPerSec float64 `json:"plans_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	P50Ns       float64 `json:"p50_ns"`
+	P95Ns       float64 `json:"p95_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	GCPauseMs   float64 `json:"gc_pause_ms"`
+	NumGC       uint32  `json:"num_gc"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       int64    `json:"seed"`
+	Quick      bool     `json:"quick"`
+	TrainPlans int      `json:"train_plans"`
+	TestPlans  int      `json:"test_plans"`
+	Results    []Result `json:"results"`
+}
+
+// pr1Baseline holds the PR 1 (pre-arena) reference numbers measured with
+// bench_test.go on this machine class, used when -baseline is absent.
+var pr1Baseline = map[string]Result{
+	"train/workers=1":         {PlansPerSec: 1135},
+	"predict":                 {PlansPerSec: 31700, NsPerOp: 31500, AllocsPerOp: 56, BytesPerOp: 31108},
+	"predict_batch/workers=1": {PlansPerSec: 22989},
+}
+
+// measure runs fn (one op = fn(i), i in [0, opsPerRun)) warmup full passes
+// untimed, then `runs` timed passes, capturing per-op latency and the
+// pass-aggregate allocation/GC deltas.
+func measure(name string, opsPerRun, plansPerOp, warmup, runs int, fn func(i int)) Result {
+	for w := 0; w < warmup; w++ {
+		for i := 0; i < opsPerRun; i++ {
+			fn(i)
+		}
+	}
+	lat := make([]float64, 0, opsPerRun*runs)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < runs; r++ {
+		for i := 0; i < opsPerRun; i++ {
+			t0 := time.Now()
+			fn(i)
+			lat = append(lat, float64(time.Since(t0)))
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	ops := opsPerRun * runs
+	return Result{
+		Name:        name,
+		Runs:        runs,
+		OpsPerRun:   opsPerRun,
+		PlansPerSec: float64(ops*plansPerOp) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		P50Ns:       q(0.50),
+		P95Ns:       q(0.95),
+		P99Ns:       q(0.99),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		NumGC:       after.NumGC - before.NumGC,
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI scale: fewer plans and runs")
+	runs := flag.Int("runs", 0, "measurement runs per scenario (0 = 5, or 2 with -quick)")
+	warmup := flag.Int("warmup", 0, "warmup passes per scenario (0 = 2, or 1 with -quick)")
+	seed := flag.Int64("seed", 1, "model seed (workload generation is fixed independently)")
+	out := flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+	baselinePath := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: built-in PR 1 numbers)")
+	flag.Parse()
+
+	if *runs == 0 {
+		if *quick {
+			*runs = 2
+		} else {
+			*runs = 5
+		}
+	}
+	if *warmup == 0 {
+		if *quick {
+			*warmup = 1
+		} else {
+			*warmup = 2
+		}
+	}
+	nTrain, nTest, trainEpochs := 96, 192, 1
+	if *quick {
+		nTrain, nTest = 64, 96
+	}
+
+	samples, err := dataset.ComplexWorkload(schema.IMDB(), nTrain+nTest, executor.M1())
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	plans := dataset.Plans(samples)
+	train, test := plans[:nTrain], plans[nTrain:]
+
+	baseline := pr1Baseline
+	if *baselinePath != "" {
+		baseline = loadBaseline(*baselinePath)
+	}
+
+	rep := Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Quick:      *quick,
+		TrainPlans: nTrain,
+		TestPlans:  nTest,
+	}
+
+	trainCfg := func(workers int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Epochs = trainEpochs
+		cfg.Seed = *seed
+		cfg.Workers = workers
+		return cfg
+	}
+	for _, workers := range workerCounts() {
+		cfg := trainCfg(workers)
+		rep.Results = append(rep.Results, measure(
+			fmt.Sprintf("train/workers=%d", workers), 1, nTrain*trainEpochs, *warmup, *runs,
+			func(int) { core.Train(train, cfg) }))
+		fmt.Fprintf(os.Stderr, "bench: %s done\n", rep.Results[len(rep.Results)-1].Name)
+	}
+
+	// One model for every inference scenario, trained deterministically.
+	infCfg := trainCfg(0)
+	infCfg.Epochs = 4
+	m := core.Train(train, infCfg)
+
+	rep.Results = append(rep.Results, measure("predict", len(test), 1, *warmup, *runs,
+		func(i int) { m.Predict(test[i]) }))
+	rep.Results = append(rep.Results, measure("predict_subplans", len(test), 1, *warmup, *runs,
+		func(i int) { m.PredictSubPlans(test[i]) }))
+	for _, workers := range workerCounts() {
+		w := workers
+		rep.Results = append(rep.Results, measure(
+			fmt.Sprintf("predict_batch/workers=%d", w), 1, len(test), *warmup, *runs,
+			func(int) { m.PredictBatch(test, w) }))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+
+	printMarkdown(rep, baseline)
+}
+
+// workerCounts returns the worker sweeps: serial plus all CPUs (when >1).
+func workerCounts() []int {
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		return []int{1, g}
+	}
+	return []int{1}
+}
+
+func loadBaseline(path string) map[string]Result {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("bench: baseline: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("bench: baseline: %v", err)
+	}
+	out := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// printMarkdown renders the human-readable report with benchstat-style
+// percentage deltas against the baseline where a metric is known.
+func printMarkdown(rep Report, baseline map[string]Result) {
+	fmt.Printf("# DACE benchmark — %s\n\n", rep.Date)
+	fmt.Printf("%s, GOMAXPROCS=%d, seed=%d, %d train / %d test plans, %d runs\n\n",
+		rep.GoVersion, rep.GOMAXPROCS, rep.Seed, rep.TrainPlans, rep.TestPlans, rep.Results[0].Runs)
+	fmt.Println("| scenario | plans/sec | Δ | ns/op | p99 | allocs/op | Δ | GC pauses |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rep.Results {
+		base, ok := baseline[r.Name]
+		fmt.Printf("| %s | %.0f | %s | %.0f | %.0f | %.1f | %s | %.2fms/%d |\n",
+			r.Name, r.PlansPerSec, delta(r.PlansPerSec, base.PlansPerSec, ok, true),
+			r.NsPerOp, r.P99Ns,
+			r.AllocsPerOp, delta(r.AllocsPerOp, base.AllocsPerOp, ok, false),
+			r.GCPauseMs, r.NumGC)
+	}
+	fmt.Println()
+}
+
+// delta formats a benchstat-style percentage change; higherIsBetter flips
+// the sign convention so improvements always read positive.
+func delta(now, base float64, ok, higherIsBetter bool) string {
+	if !ok || base == 0 {
+		return "—"
+	}
+	pct := (now - base) / base * 100
+	if !higherIsBetter {
+		pct = -pct
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-pprof listener only)
 	"os"
 
 	"dace/internal/core"
@@ -23,6 +24,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	lora := flag.Bool("lora", false, "model file contains LoRA adapters")
 	workers := flag.Int("workers", 0, "batch-inference worker goroutines (0 = all CPUs)")
+	pprofAddr := flag.String("pprof", "", "if set (e.g. localhost:6060), serve net/http/pprof on this address")
 	flag.Parse()
 
 	m := core.NewModel(core.DefaultConfig())
@@ -37,6 +39,15 @@ func main() {
 		log.Fatalf("daced: %v", err)
 	}
 	f.Close()
+
+	if *pprofAddr != "" {
+		// The profiling endpoints stay off the service mux: they bind a
+		// separate (typically loopback) listener and are absent by default.
+		go func() {
+			log.Printf("daced: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	s := serve.New(m)
 	s.Workers = *workers

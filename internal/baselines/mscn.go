@@ -190,7 +190,9 @@ func (m *MSCN) Train(samples []dataset.Sample) error {
 
 // Predict implements Estimator.
 func (m *MSCN) Predict(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	out := m.forward(t, s)
-	return math.Exp(m.label.Inverse(out.Value.At(0, 0)))
+	v := out.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(m.label.Inverse(v))
 }

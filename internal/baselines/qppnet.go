@@ -141,8 +141,10 @@ func (q *QPPNet) Train(samples []dataset.Sample) error {
 // Predict implements Estimator: the root's latency after the (sequential)
 // bottom-up pass.
 func (q *QPPNet) Predict(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	enc := q.enc.Encode(s.Plan)
 	pred := q.forward(t, enc, s.Plan)
-	return math.Exp(q.enc.Label.Inverse(pred.Value.At(0, 0)))
+	v := pred.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(q.enc.Label.Inverse(v))
 }

@@ -239,8 +239,10 @@ func (qf *QueryFormer) Train(samples []dataset.Sample) error {
 
 // Predict implements Estimator.
 func (qf *QueryFormer) Predict(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	enc := qf.enc.Encode(s.Plan)
 	out := qf.forward(t, enc, qf.structure(s.Plan), s)
-	return math.Exp(qf.enc.Label.Inverse(out.Value.At(0, 0)))
+	v := out.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(qf.enc.Label.Inverse(v))
 }

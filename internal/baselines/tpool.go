@@ -178,16 +178,20 @@ func (tp *TPool) Train(samples []dataset.Sample) error {
 
 // Predict implements Estimator.
 func (tp *TPool) Predict(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	feats := tp.nodeFeatures(tp.enc.Encode(s.Plan), s.Plan)
 	cost, _ := tp.forward(t, feats, s.Plan)
-	return math.Exp(tp.enc.Label.Inverse(cost.Value.At(0, 0)))
+	v := cost.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(tp.enc.Label.Inverse(v))
 }
 
 // PredictCardinality returns the multi-task head's cardinality estimate.
 func (tp *TPool) PredictCardinality(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	feats := tp.nodeFeatures(tp.enc.Encode(s.Plan), s.Plan)
 	_, card := tp.forward(t, feats, s.Plan)
-	return math.Exp(tp.card.Inverse(card.Value.At(0, 0)))
+	v := card.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(tp.card.Inverse(v))
 }

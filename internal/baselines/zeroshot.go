@@ -151,8 +151,10 @@ func (z *ZeroShot) Train(samples []dataset.Sample) error {
 
 // Predict implements Estimator.
 func (z *ZeroShot) Predict(s dataset.Sample) float64 {
-	t := nn.NewTape()
+	t := nn.GetTape()
 	feats := z.nodeFeatures(z.enc.Encode(s.Plan), s.Plan)
 	out := z.forward(t, feats, s.Plan)
-	return math.Exp(z.enc.Label.Inverse(out.Value.At(0, 0)))
+	v := out.Value.At(0, 0)
+	nn.PutTape(t)
+	return math.Exp(z.enc.Label.Inverse(v))
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"dace/internal/executor"
+	"dace/internal/schema"
+)
+
+// TestPredictSteadyStateAllocs is the PR's acceptance guard: after pools
+// warm up, Model.Predict must do at most 10 allocations per call (the
+// budget covers sync.Pool slow paths; the encode and forward arithmetic
+// itself is allocation-free).
+func TestPredictSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := workloadPlans(t, schema.IMDB(), 40, executor.M1())
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m := Train(plans, cfg)
+	for _, p := range plans {
+		m.Predict(p)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		m.Predict(plans[i%len(plans)])
+		i++
+	})
+	if avg > 10 {
+		t.Fatalf("Predict allocates %.2f/op at steady state, want <= 10", avg)
+	}
+}
+
+// TestPredictSubPlansSteadyStateAllocs bounds the tape path: the per-call
+// result slice is the only required allocation, so leave a small margin
+// for pool slow paths.
+func TestPredictSubPlansSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := workloadPlans(t, schema.IMDB(), 40, executor.M1())
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m := Train(plans, cfg)
+	for _, p := range plans {
+		m.PredictSubPlans(p)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		m.PredictSubPlans(plans[i%len(plans)])
+		i++
+	})
+	if avg > 10 {
+		t.Fatalf("PredictSubPlans allocates %.2f/op at steady state, want <= 10", avg)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 
 	"dace/internal/featurize"
 	"dace/internal/nn"
@@ -118,14 +119,21 @@ func (m *Model) Params() []*nn.Param {
 // which MLP hidden activation to also return (-1 for none) — the
 // pre-trained-encoder mode reads h₂ (Eq. 9).
 func (m *Model) forward(t *nn.Tape, enc *featurize.Encoded, hiddenLayer int) (pred, hidden *nn.Node) {
-	mask := enc.Mask
-	if !m.Cfg.TreeAttention {
-		full := nn.NewMatrix(mask.Rows, mask.Cols)
-		full.Fill(1)
-		mask = full
-	}
-	h := m.Att.Apply(t, t.Const(enc.X), mask, nil)
+	// The Q/K/V projections go through the one-hot-aware kernel: each plan
+	// feature row selects its type row of W plus the two scaled cost/card
+	// rows, which is bitwise identical to the dense X·W at a sixth of the
+	// work (see nn.ProjectOneHotInto).
+	h := m.Att.ApplyOneHot(t, enc.X, enc.Types, plan.NumNodeTypes, m.spansFor(enc))
 	return m.head(t, h, enc, hiddenLayer)
+}
+
+// spansFor returns the attention spans the configuration calls for: the
+// tree-structured ancestor spans, or full rows for the "w/o TA" ablation.
+func (m *Model) spansFor(enc *featurize.Encoded) []nn.Span {
+	if m.Cfg.TreeAttention {
+		return enc.Spans
+	}
+	return nn.FullSpans(enc.X.Rows)
 }
 
 // head records the MLP (+ optional LoRA adapters) and the cost-correction
@@ -145,53 +153,28 @@ func (m *Model) head(t *nn.Tape, h *nn.Node, enc *featurize.Encoded, hiddenLayer
 		}
 	}
 	// Cost-correction residual: add γ·scaled_cost per node.
-	pred = t.Add(h, t.ScaleConst(t.Leaf(m.Gamma), costColumn(enc)))
+	pred = t.Add(h, t.ScaleConst(t.Leaf(m.Gamma), enc.CostCol))
 	return pred, hidden
 }
 
-// costColumn extracts the scaled log-cost feature as an n×1 matrix.
-func costColumn(enc *featurize.Encoded) *nn.Matrix {
-	out := nn.NewMatrix(enc.X.Rows, 1)
-	for i := 0; i < enc.X.Rows; i++ {
-		out.Data[i] = enc.X.At(i, featurize.FeatureDim-2)
-	}
-	return out
-}
-
-// attentionRaw computes the masked attention output (n×dv) with plain
-// matrix arithmetic — used to cache the frozen encoder's features during
-// LoRA fine-tuning.
+// attentionRaw computes the masked attention output (n×dv) with the same
+// span kernels the tape path uses, but no autodiff — it caches the frozen
+// encoder's features during LoRA fine-tuning. The result is heap-allocated
+// on purpose: it outlives every per-batch arena cycle of the fit loop.
 func (m *Model) attentionRaw(enc *featurize.Encoded) *nn.Matrix {
 	x := enc.X
-	q := nn.MatMul(x, m.Att.WQ.Value)
-	k := nn.MatMul(x, m.Att.WK.Value)
-	v := nn.MatMul(x, m.Att.WV.Value)
-	scores := nn.MatMulTransB(q, k)
-	nn.ScaleInPlace(scores, 1/math.Sqrt(float64(m.Cfg.DK)))
-	n := scores.Rows
-	mask := enc.Mask
-	for i := 0; i < n; i++ {
-		max := math.Inf(-1)
-		for j := 0; j < n; j++ {
-			if (!m.Cfg.TreeAttention || mask.At(i, j) != 0) && scores.At(i, j) > max {
-				max = scores.At(i, j)
-			}
-		}
-		var z float64
-		for j := 0; j < n; j++ {
-			if !m.Cfg.TreeAttention || mask.At(i, j) != 0 {
-				e := math.Exp(scores.At(i, j) - max)
-				scores.Set(i, j, e)
-				z += e
-			} else {
-				scores.Set(i, j, 0)
-			}
-		}
-		for j := 0; j < n; j++ {
-			scores.Set(i, j, scores.At(i, j)/z)
-		}
-	}
-	return nn.MatMul(scores, v)
+	q := nn.NewMatrix(x.Rows, m.Att.WQ.Value.Cols)
+	nn.ProjectOneHotInto(q, x, m.Att.WQ.Value, enc.Types, plan.NumNodeTypes)
+	k := nn.NewMatrix(x.Rows, m.Att.WK.Value.Cols)
+	nn.ProjectOneHotInto(k, x, m.Att.WK.Value, enc.Types, plan.NumNodeTypes)
+	v := nn.NewMatrix(x.Rows, m.Att.WV.Value.Cols)
+	nn.ProjectOneHotInto(v, x, m.Att.WV.Value, enc.Types, plan.NumNodeTypes)
+	spans := m.spansFor(enc)
+	probs := nn.NewMatrix(x.Rows, x.Rows)
+	nn.MaskedSoftmaxQKTInto(probs, q, k, 1/math.Sqrt(float64(m.Cfg.DK)), spans)
+	out := nn.NewMatrix(x.Rows, v.Cols)
+	nn.MatMulSpansInto(out, probs, v, spans)
+	return out
 }
 
 // loss records the Eq. (7) training loss for one plan: the per-node
@@ -281,48 +264,58 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 	}
 }
 
+// scratch bundles the reusable per-goroutine inference state: an encoder
+// Scratch plus an arena for the raw-arithmetic root path. Pooled so
+// steady-state Predict/PredictSubPlans/Embed calls allocate (almost)
+// nothing regardless of which goroutine runs them.
+type scratch struct {
+	enc   featurize.Scratch
+	arena nn.Arena
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Predict returns the estimated execution time (ms) of the plan's root —
 // the quantity q-error is computed over. As in the paper, inference prices
 // only the root: the attention query is computed for the root row alone and
 // the MLP runs on a single vector, so prediction is much cheaper than a
 // training pass (use PredictSubPlans when every node's estimate is wanted).
 func (m *Model) Predict(p *plan.Plan) float64 {
-	enc := m.Enc.Encode(p)
-	return m.Enc.InverseLabel(m.predictRootRaw(enc))
+	s := scratchPool.Get().(*scratch)
+	enc := m.Enc.EncodeInto(&s.enc, p)
+	s.arena.Reset()
+	out := m.Enc.InverseLabel(m.predictRootRaw(&s.arena, enc))
+	scratchPool.Put(s)
+	return out
 }
 
 // predictRootRaw computes the root's scaled-log prediction with raw matrix
-// arithmetic (no autodiff tape). The root's attention mask row is all ones
-// (the root dominates every node), so no masking is needed.
-func (m *Model) predictRootRaw(enc *featurize.Encoded) float64 {
+// arithmetic (no autodiff tape), all temporaries drawn from a. The root's
+// attention mask row is all ones (the root dominates every node), so its
+// span is the full row.
+func (m *Model) predictRootRaw(a *nn.Arena, enc *featurize.Encoded) float64 {
 	x := enc.X
-	q := nn.MatMul(rowOf(x, 0), m.Att.WQ.Value) // 1×dk
-	k := nn.MatMul(x, m.Att.WK.Value)           // n×dk
-	v := nn.MatMul(x, m.Att.WV.Value)           // n×dv
-	scores := nn.MatMulTransB(q, k)             // 1×n
-	nn.ScaleInPlace(scores, 1/math.Sqrt(float64(m.Cfg.DK)))
-	// Row softmax (identical arithmetic to the tape op's unmasked row).
-	max := math.Inf(-1)
-	for _, s := range scores.Data {
-		if s > max {
-			max = s
-		}
-	}
-	var z float64
-	for i, s := range scores.Data {
-		e := math.Exp(s - max)
-		scores.Data[i] = e
-		z += e
-	}
-	for i := range scores.Data {
-		scores.Data[i] /= z
-	}
-	h := nn.MatMul(scores, v) // 1×dv
+	root := nn.Matrix{Rows: 1, Cols: x.Cols, Data: x.Data[:x.Cols]} // row 0 view
+	q := a.Matrix(1, m.Att.WQ.Value.Cols)                           // 1×dk
+	nn.ProjectOneHotInto(q, &root, m.Att.WQ.Value, enc.Types, plan.NumNodeTypes)
+	k := a.Matrix(x.Rows, m.Att.WK.Value.Cols) // n×dk
+	nn.ProjectOneHotInto(k, x, m.Att.WK.Value, enc.Types, plan.NumNodeTypes)
+	v := a.Matrix(x.Rows, m.Att.WV.Value.Cols) // n×dv
+	nn.ProjectOneHotInto(v, x, m.Att.WV.Value, enc.Types, plan.NumNodeTypes)
+	span := [1]nn.Span{{Lo: 0, Hi: int32(x.Rows)}}
+	probs := a.Matrix(1, x.Rows)
+	nn.MaskedSoftmaxQKTInto(probs, q, k, 1/math.Sqrt(float64(m.Cfg.DK)), span[:])
+	h := a.Matrix(1, v.Cols) // 1×dv
+	nn.MatMulSpansInto(h, probs, v, span[:])
 	for i, l := range m.MLP {
-		next := nn.MatMul(h, l.W.Value)
+		next := a.Matrix(1, l.W.Value.Cols)
+		nn.MatMulInto(next, h, l.W.Value)
 		nn.AddInPlace(next, l.B.Value)
 		if m.lora != nil {
-			ad := nn.MatMul(nn.MatMul(h, m.lora[i].Down.Value), m.lora[i].Up.Value)
+			down := a.Matrix(1, m.lora[i].Down.Value.Cols)
+			nn.MatMulInto(down, h, m.lora[i].Down.Value)
+			ad := a.Matrix(1, m.lora[i].Up.Value.Cols)
+			nn.MatMulInto(ad, down, m.lora[i].Up.Value)
 			nn.ScaleInPlace(ad, m.lora[i].Scale)
 			nn.AddInPlace(next, ad)
 		}
@@ -335,7 +328,7 @@ func (m *Model) predictRootRaw(enc *featurize.Encoded) float64 {
 			}
 		}
 	}
-	return h.Data[0] + m.Gamma.Value.Data[0]*enc.X.At(0, featurize.FeatureDim-2)
+	return h.Data[0] + m.Gamma.Value.Data[0]*enc.CostCol.Data[0]
 }
 
 // PredictBatch predicts root latencies (ms) for many plans, fanning the
@@ -361,23 +354,19 @@ func (m *Model) PredictSubPlansBatch(plans []*plan.Plan, workers int) [][]float6
 	return out
 }
 
-// rowOf copies row i of a matrix into a fresh 1×cols matrix.
-func rowOf(mx *nn.Matrix, i int) *nn.Matrix {
-	out := nn.NewMatrix(1, mx.Cols)
-	copy(out.Data, mx.Data[i*mx.Cols:(i+1)*mx.Cols])
-	return out
-}
-
 // PredictSubPlans returns estimated latencies (ms) for every node in DFS
 // order — the parallel sub-plan prediction of Eq. (6).
 func (m *Model) PredictSubPlans(p *plan.Plan) []float64 {
-	enc := m.Enc.Encode(p)
-	t := nn.NewTape()
+	s := scratchPool.Get().(*scratch)
+	enc := m.Enc.EncodeInto(&s.enc, p)
+	t := nn.GetTape()
 	pred, _ := m.forward(t, enc, -1)
 	out := make([]float64, pred.Value.Rows)
 	for i := range out {
 		out[i] = m.Enc.InverseLabel(pred.Value.At(i, 0))
 	}
+	nn.PutTape(t)
+	scratchPool.Put(s)
 	return out
 }
 
@@ -391,14 +380,17 @@ func (m *Model) EmbedDim() int { return m.Cfg.Hidden[len(m.Cfg.Hidden)-2] + 1 }
 // γ·cost lives outside h₂, so the raw hidden state alone would withhold the
 // pre-trained estimator's strongest signal from the downstream model.
 func (m *Model) Embed(p *plan.Plan) []float64 {
-	enc := m.Enc.Encode(p)
-	t := nn.NewTape()
+	s := scratchPool.Get().(*scratch)
+	enc := m.Enc.EncodeInto(&s.enc, p)
+	t := nn.GetTape()
 	pred, hidden := m.forward(t, enc, len(m.MLP)-2)
 	out := make([]float64, hidden.Value.Cols+1)
 	for j := 0; j < hidden.Value.Cols; j++ {
 		out[j] = hidden.Value.At(0, j)
 	}
 	out[hidden.Value.Cols] = pred.Value.At(0, 0)
+	nn.PutTape(t)
+	scratchPool.Put(s)
 	return out
 }
 

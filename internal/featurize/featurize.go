@@ -113,6 +113,8 @@ type Encoded struct {
 	// X is the n×18 node encoding sequence in DFS order.
 	X *nn.Matrix
 	// Mask is the n×n tree-structured attention mask (the ancestor matrix).
+	// It is nil when produced by EncodeInto: the hot paths consume Spans
+	// instead and never materialize the dense mask.
 	Mask *nn.Matrix
 	// LossW is the n×1 per-node loss weight α^height (Eq. 4).
 	LossW *nn.Matrix
@@ -121,43 +123,123 @@ type Encoded struct {
 	Y *nn.Matrix
 	// Heights are the per-node heights in DFS order.
 	Heights []int
+	// Spans is the compact form of Mask: in DFS pre-order the descendants
+	// of node i are the contiguous block [i, i+subtree(i)), so attention
+	// row i participates exactly in Spans[i].
+	Spans []nn.Span
+	// CostCol is the n×1 scaled log-cost column (X's FeatureDim-2 feature),
+	// cached at encode time for the cost-correction residual.
+	CostCol *nn.Matrix
+	// Types is the per-row node type in DFS order — the index of each row's
+	// one-hot bit in X, consumed by the sparse nn.ProjectOneHot projections.
+	Types []int
 }
 
-// Encode featurizes one plan.
-func (e *Encoder) Encode(p *plan.Plan) *Encoded {
-	nodes := p.DFS()
-	n := len(nodes)
-	x := nn.NewMatrix(n, FeatureDim)
-	y := nn.NewMatrix(n, 1)
-	w := nn.NewMatrix(n, 1)
-	heights := p.Heights()
+// fill populates enc's pre-allocated, pre-zeroed X/Y/LossW/CostCol matrices
+// from the DFS node sequence; enc.Heights must already be set.
+func (e *Encoder) fill(enc *Encoded, nodes []*plan.Node) {
 	for i, node := range nodes {
-		x.Set(i, int(node.Type), 1)
-		x.Set(i, plan.NumNodeTypes, e.Cost.Transform(logSafe(node.EstCost)))
+		enc.X.Set(i, int(node.Type), 1)
+		enc.Types[i] = int(node.Type)
+		cost := e.Cost.Transform(logSafe(node.EstCost))
+		enc.X.Set(i, plan.NumNodeTypes, cost)
+		enc.CostCol.Data[i] = cost
 		card := node.EstRows
 		if e.ActualCard {
 			card = node.ActualRows
 		}
-		x.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
+		enc.X.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
 		if node.ActualMS > 0 {
-			y.Set(i, 0, e.Label.Transform(logSafe(node.ActualMS)))
+			enc.Y.Set(i, 0, e.Label.Transform(logSafe(node.ActualMS)))
 		}
-		w.Set(i, 0, math.Pow(e.Alpha, float64(heights[i])))
+		enc.LossW.Set(i, 0, math.Pow(e.Alpha, float64(enc.Heights[i])))
 	}
 	if e.Alpha == 0 {
 		// α=0 would zero every non-root weight via Pow(0, h>0) but also set
 		// the root's 0^0 = 1; that is the intended "root only" mode.
-		w.Zero()
-		w.Set(0, 0, 1)
+		enc.LossW.Zero()
+		enc.LossW.Set(0, 0, 1)
 	}
-	adj := p.Adjacency()
+}
+
+// spansOf writes each DFS row's attention span [i, i+subtree(i)) into dst.
+func spansOf(dst []nn.Span, sizes []int) {
+	for i, sz := range sizes {
+		dst[i] = nn.Span{Lo: int32(i), Hi: int32(i + sz)}
+	}
+}
+
+// Encode featurizes one plan into freshly allocated (heap) storage. The
+// result owns its memory indefinitely — the training loop caches these.
+// Hot inference paths use EncodeInto instead.
+func (e *Encoder) Encode(p *plan.Plan) *Encoded {
+	nodes := p.DFS()
+	n := len(nodes)
+	enc := &Encoded{
+		X:       nn.NewMatrix(n, FeatureDim),
+		Y:       nn.NewMatrix(n, 1),
+		LossW:   nn.NewMatrix(n, 1),
+		CostCol: nn.NewMatrix(n, 1),
+		Heights: p.Heights(),
+		Spans:   make([]nn.Span, n),
+		Types:   make([]int, n),
+	}
+	spansOf(enc.Spans, p.AppendSubtreeSizes(nil))
+	e.fill(enc, nodes)
 	mask := nn.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			mask.Set(i, j, adj[i][j])
+	for i, sp := range enc.Spans {
+		for j := sp.Lo; j < sp.Hi; j++ {
+			mask.Set(i, int(j), 1)
 		}
 	}
-	return &Encoded{X: x, Mask: mask, LossW: w, Y: y, Heights: heights}
+	enc.Mask = mask
+	return enc
+}
+
+// Scratch is reusable encoding storage for the hot inference path: all
+// buffers (including the matrix backing store, via an arena) are retained
+// across EncodeInto calls and grow to the largest plan seen, after which
+// encoding allocates nothing.
+type Scratch struct {
+	arena   nn.Arena
+	nodes   []*plan.Node
+	heights []int
+	sizes   []int
+	spans   []nn.Span
+	types   []int
+	enc     Encoded
+}
+
+// EncodeInto featurizes one plan into s, returning an Encoded that aliases
+// s's buffers: it is valid only until the next EncodeInto on the same
+// Scratch. The dense Mask is left nil — consumers use Spans. Arithmetic is
+// identical to Encode, so the two paths produce bitwise-equal encodings.
+func (e *Encoder) EncodeInto(s *Scratch, p *plan.Plan) *Encoded {
+	s.arena.Reset()
+	s.nodes = p.AppendDFS(s.nodes[:0])
+	s.heights = p.AppendHeights(s.heights[:0])
+	s.sizes = p.AppendSubtreeSizes(s.sizes[:0])
+	n := len(s.nodes)
+	if cap(s.spans) < n {
+		s.spans = make([]nn.Span, n)
+	}
+	s.spans = s.spans[:n]
+	spansOf(s.spans, s.sizes)
+	if cap(s.types) < n {
+		s.types = make([]int, n)
+	}
+	s.types = s.types[:n]
+	enc := &s.enc
+	enc.X = s.arena.Matrix(n, FeatureDim)
+	enc.Y = s.arena.Matrix(n, 1)
+	enc.LossW = s.arena.Matrix(n, 1)
+	enc.CostCol = s.arena.Matrix(n, 1)
+	enc.Mask = nil
+	enc.Heights = s.heights
+	enc.Spans = s.spans
+	enc.Types = s.types
+	e.fill(enc, s.nodes)
+	return enc
 }
 
 // InverseLabel maps a model output (scaled log ms) back to milliseconds.

@@ -7,6 +7,7 @@ import (
 
 	"dace/internal/dataset"
 	"dace/internal/executor"
+	"dace/internal/nn"
 	"dace/internal/plan"
 	"dace/internal/schema"
 )
@@ -174,5 +175,97 @@ func TestScaledFeaturesAreCentered(t *testing.T) {
 	s := FitScaler(costVals)
 	if math.Abs(s.Center) > 0.2 {
 		t.Fatalf("scaled cost median %v, want ≈0", s.Center)
+	}
+}
+
+// sameMatrix compares two matrices bitwise (shape and every element).
+func sameMatrix(t *testing.T, what string, a, b *nn.Matrix) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %d×%d vs %d×%d", what, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s[%d]: %v vs %v", what, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestEncodeIntoMatchesEncode pins the hot path's correctness: the
+// scratch-reusing encoder must produce bitwise-identical features to the
+// heap encoder, across many plans reusing one Scratch (so stale state from
+// a previous — larger or smaller — plan must never leak through).
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	plans := trainingPlans(t, 40)
+	for _, alpha := range []float64{0.5, 0} {
+		e := FitEncoder(plans, alpha)
+		var s Scratch
+		for _, p := range plans {
+			want := e.Encode(p)
+			got := e.EncodeInto(&s, p)
+			sameMatrix(t, "X", want.X, got.X)
+			sameMatrix(t, "Y", want.Y, got.Y)
+			sameMatrix(t, "LossW", want.LossW, got.LossW)
+			sameMatrix(t, "CostCol", want.CostCol, got.CostCol)
+			if got.Mask != nil {
+				t.Fatal("EncodeInto must leave Mask nil")
+			}
+			if len(want.Spans) != len(got.Spans) {
+				t.Fatalf("spans: %d vs %d", len(want.Spans), len(got.Spans))
+			}
+			for i := range want.Spans {
+				if want.Spans[i] != got.Spans[i] {
+					t.Fatalf("span[%d]: %v vs %v", i, want.Spans[i], got.Spans[i])
+				}
+			}
+			for i := range want.Heights {
+				if want.Heights[i] != got.Heights[i] {
+					t.Fatalf("height[%d]: %d vs %d", i, want.Heights[i], got.Heights[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeSpansMatchMask checks the span representation against the dense
+// ancestor mask it replaces.
+func TestEncodeSpansMatchMask(t *testing.T) {
+	plans := trainingPlans(t, 10)
+	e := FitEncoder(plans, 0.5)
+	for _, p := range plans {
+		enc := e.Encode(p)
+		n := enc.X.Rows
+		for i := 0; i < n; i++ {
+			sp := enc.Spans[i]
+			for j := 0; j < n; j++ {
+				inSpan := int32(j) >= sp.Lo && int32(j) < sp.Hi
+				if inSpan != (enc.Mask.At(i, j) != 0) {
+					t.Fatalf("plan node %d col %d: span says %v, mask says %v",
+						i, j, inSpan, enc.Mask.At(i, j) != 0)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoSteadyStateAllocs: after warmup, re-encoding plans into the
+// same Scratch must not allocate.
+func TestEncodeIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := trainingPlans(t, 8)
+	e := FitEncoder(plans, 0.5)
+	var s Scratch
+	for _, p := range plans {
+		e.EncodeInto(&s, p)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		e.EncodeInto(&s, plans[i%len(plans)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("EncodeInto allocates %.2f/op at steady state, want 0", avg)
 	}
 }

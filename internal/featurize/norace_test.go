@@ -1,0 +1,5 @@
+//go:build !race
+
+package featurize
+
+const raceEnabled = false

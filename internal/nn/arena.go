@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Arena is a bump allocator for Matrix backing stores and headers. All
+// allocations made through an arena live until the next Reset; Reset rewinds
+// the arena in O(chunks) without freeing, so a hot loop that resets between
+// iterations reaches zero steady-state heap allocations.
+//
+// The float64 chunks backing an arena are drawn from a global sync.Pool per
+// power-of-two size class, so arenas of similar working-set size share
+// memory across goroutines and idle chunks are reclaimable by the GC.
+//
+// Aliasing hazard: a *Matrix returned by an arena (and anything sharing its
+// Data) becomes invalid at Reset — the same memory is handed out again, and
+// Floats zeroes it on reuse. Copy anything that must outlive the arena's
+// cycle. An Arena is not safe for concurrent use; use one per goroutine
+// (GetArena/PutArena make that cheap).
+type Arena struct {
+	chunks [][]float64 // bump chunks, chunks[:ci] full, chunks[ci][off:] free
+	ci     int
+	off    int
+	hdrs   [][]Matrix // fixed-size header slabs (never moved once allocated)
+	hi     int
+	hoff   int
+}
+
+const (
+	arenaMinClass = 10 // smallest pooled chunk: 2^10 floats = 8 KiB
+	arenaMaxClass = 24 // largest pooled chunk: 2^24 floats = 128 MiB
+	hdrSlabSize   = 256
+)
+
+// chunkPools holds reusable float64 chunks keyed by size class c, each of
+// length exactly 1<<c.
+var chunkPools [arenaMaxClass + 1]sync.Pool
+
+// arenaPool recycles whole arenas (with their chunks and header slabs
+// attached) across GetArena/PutArena.
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena returns a reset arena from the global pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena resets a and returns it (chunks included) to the global pool.
+// The caller must not use a, or any matrix allocated from it, afterwards.
+func PutArena(a *Arena) {
+	a.Reset()
+	arenaPool.Put(a)
+}
+
+// classFor returns the smallest pooled size class holding n floats, or -1
+// when n exceeds the largest class (the chunk is then sized exactly and not
+// pooled on Release).
+func classFor(n int) int {
+	c := bits.Len(uint(n - 1))
+	if c < arenaMinClass {
+		return arenaMinClass
+	}
+	if c > arenaMaxClass {
+		return -1
+	}
+	return c
+}
+
+// newChunk obtains a chunk with capacity for at least n floats.
+func newChunk(n int) []float64 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := chunkPools[c].Get(); v != nil {
+		return v.([]float64)
+	}
+	return make([]float64, 1<<c)
+}
+
+// Floats allocates a zeroed slice of n float64s from the arena.
+func (a *Arena) Floats(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("nn: Arena.Floats(%d)", n))
+	}
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.ci < len(a.chunks) {
+			if c := a.chunks[a.ci]; a.off+n <= len(c) {
+				s := c[a.off : a.off+n : a.off+n]
+				a.off += n
+				clear(s)
+				return s
+			}
+			// Current chunk can't fit n: move on (its tail is wasted until
+			// Reset, which is fine — chunks grow geometrically via classFor).
+			a.ci++
+			a.off = 0
+			continue
+		}
+		a.chunks = append(a.chunks, newChunk(n))
+		a.off = 0
+	}
+}
+
+// Matrix allocates a zeroed rows×cols matrix whose header and backing store
+// both live in the arena.
+func (a *Arena) Matrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %d×%d", rows, cols))
+	}
+	if a.hi >= len(a.hdrs) {
+		a.hdrs = append(a.hdrs, make([]Matrix, hdrSlabSize))
+		a.hoff = 0
+	}
+	m := &a.hdrs[a.hi][a.hoff]
+	a.hoff++
+	if a.hoff == hdrSlabSize {
+		a.hi++
+		a.hoff = 0
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.Floats(rows * cols)
+	return m
+}
+
+// Reset rewinds the arena: every allocation made since the last Reset is
+// invalidated and its memory will be reused (and re-zeroed) by subsequent
+// allocations. The chunks stay attached to the arena.
+func (a *Arena) Reset() {
+	a.ci, a.off = 0, 0
+	a.hi, a.hoff = 0, 0
+}
+
+// Release resets the arena and returns its pooled-class chunks to the global
+// size-class pools, dropping exact-size oversize chunks for the GC. Header
+// slabs stay attached (they are small). The arena remains usable.
+func (a *Arena) Release() {
+	for _, c := range a.chunks {
+		if cl := classFor(len(c)); cl >= 0 && len(c) == 1<<cl {
+			chunkPools[cl].Put(c) //nolint:staticcheck // slices are pointer-shaped enough here
+		}
+	}
+	a.chunks = a.chunks[:0]
+	a.Reset()
+}

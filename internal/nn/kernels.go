@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree-structured attention is half empty: in DFS pre-order, row i of the
+// ancestor mask A(p) is exactly the contiguous block [i, i+subtree(i)), so
+// the masked (i,j) pairs need never be touched. The kernels in this file
+// exploit that: each row carries a Span of participating columns and the
+// fused scores→softmax and probabilities·V products iterate only inside it.
+// The arithmetic per unmasked element — dot product in index order, scale,
+// shifted exp, normalize — is exactly the composition of MatMulNodesTransB,
+// Scale and SoftmaxRowsMasked, so the fused path is bitwise identical to
+// the unfused one (masked positions hold exact zeros either way).
+
+// Span is a half-open column range [Lo, Hi) of unmasked positions in one
+// attention row.
+type Span struct{ Lo, Hi int32 }
+
+// FullSpans returns n spans covering all n columns — the dense-attention
+// (mask-free) case.
+func FullSpans(n int) []Span {
+	s := make([]Span, n)
+	for i := range s {
+		s[i] = Span{0, int32(n)}
+	}
+	return s
+}
+
+// MaskedSoftmaxQKTInto writes softmax rows of (q·kᵀ)·invScale into dst,
+// restricting row i to columns [spans[i].Lo, spans[i].Hi); positions outside
+// the span are left untouched (dst must be pre-zeroed so they read as exact
+// 0 probability). The max subtraction starts from -Inf, so rows whose scores
+// are all negative are handled identically to the tape op. Empty spans panic
+// like a fully masked softmax row.
+func MaskedSoftmaxQKTInto(dst, q, k *Matrix, invScale float64, spans []Span) {
+	if q.Cols != k.Cols {
+		panic(fmt.Sprintf("nn: MaskedSoftmaxQKT shape mismatch %s · %sᵀ", q.shape(), k.shape()))
+	}
+	if dst.Rows != q.Rows || dst.Cols != k.Rows || len(spans) != q.Rows {
+		panic(fmt.Sprintf("nn: MaskedSoftmaxQKT dst %s, %d spans for %s · %sᵀ", dst.shape(), len(spans), q.shape(), k.shape()))
+	}
+	d := q.Cols
+	for i := 0; i < q.Rows; i++ {
+		sp := spans[i]
+		if sp.Lo >= sp.Hi {
+			panic(fmt.Sprintf("nn: MaskedSoftmaxQKT row %d fully masked", i))
+		}
+		qrow := q.Data[i*d : (i+1)*d]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		max := math.Inf(-1)
+		// Four independent score dots per pass; each accumulates in
+		// ascending feature order and the max scan compares in ascending j
+		// order, so the result is bitwise identical to the simple loop.
+		j := sp.Lo
+		for ; j+4 <= sp.Hi; j += 4 {
+			k0 := k.Data[int(j)*d : int(j)*d+d][:len(qrow)]
+			k1 := k.Data[int(j+1)*d : int(j+1)*d+d][:len(qrow)]
+			k2 := k.Data[int(j+2)*d : int(j+2)*d+d][:len(qrow)]
+			k3 := k.Data[int(j+3)*d : int(j+3)*d+d][:len(qrow)]
+			var s0, s1, s2, s3 float64
+			for x, qv := range qrow {
+				s0 += qv * k0[x]
+				s1 += qv * k1[x]
+				s2 += qv * k2[x]
+				s3 += qv * k3[x]
+			}
+			s0 *= invScale
+			s1 *= invScale
+			s2 *= invScale
+			s3 *= invScale
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+			if s0 > max {
+				max = s0
+			}
+			if s1 > max {
+				max = s1
+			}
+			if s2 > max {
+				max = s2
+			}
+			if s3 > max {
+				max = s3
+			}
+		}
+		for ; j < sp.Hi; j++ {
+			krow := k.Data[int(j)*d : (int(j)+1)*d][:len(qrow)]
+			var s float64
+			for x, qv := range qrow {
+				s += qv * krow[x]
+			}
+			s *= invScale
+			drow[j] = s
+			if s > max {
+				max = s
+			}
+		}
+		var z float64
+		for j := sp.Lo; j < sp.Hi; j++ {
+			e := math.Exp(drow[j] - max)
+			drow[j] = e
+			z += e
+		}
+		for j := sp.Lo; j < sp.Hi; j++ {
+			drow[j] /= z
+		}
+	}
+}
+
+// MatMulSpansInto accumulates a·b into dst where row i of a is nonzero only
+// inside spans[i]: dst[i,:] += Σ_{j∈span_i} a[i,j]·b[j,:]. Pre-zero dst for
+// a plain product. Iteration order matches the dense kernel restricted to
+// the span, so results are bitwise identical to dense a·b when a is exactly
+// zero outside its spans.
+func MatMulSpansInto(dst, a, b *Matrix, spans []Span) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulSpans shape mismatch %s · %s", a.shape(), b.shape()))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols || len(spans) != a.Rows {
+		panic(fmt.Sprintf("nn: MatMulSpansInto dst %s, %d spans for %s · %s", dst.shape(), len(spans), a.shape(), b.shape()))
+	}
+	bc := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		sp := spans[i]
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		// Four span columns per pass with a temp chain: every orow[x]
+		// accumulates its terms in ascending j order, as in the simple loop.
+		j := sp.Lo
+		for ; j+4 <= sp.Hi; j += 4 {
+			a0, a1, a2, a3 := arow[j], arow[j+1], arow[j+2], arow[j+3]
+			b0 := b.Data[int(j)*bc : int(j)*bc+bc][:len(orow)]
+			b1 := b.Data[int(j+1)*bc : int(j+1)*bc+bc][:len(orow)]
+			b2 := b.Data[int(j+2)*bc : int(j+2)*bc+bc][:len(orow)]
+			b3 := b.Data[int(j+3)*bc : int(j+3)*bc+bc][:len(orow)]
+			for x := range orow {
+				s := orow[x] + a0*b0[x]
+				s += a1 * b1[x]
+				s += a2 * b2[x]
+				s += a3 * b3[x]
+				orow[x] = s
+			}
+		}
+		for ; j < sp.Hi; j++ {
+			av := arow[j]
+			brow := b.Data[int(j)*bc : int(j)*bc+bc][:len(orow)]
+			for x := range orow {
+				orow[x] += av * brow[x]
+			}
+		}
+	}
+}
+
+// matMulTransASpansInto accumulates aᵀ·b restricted to a's spans:
+// dst[j,:] += Σ_i a[i,j]·b[i,:] for j ∈ span_i. It is the shared adjoint
+// kernel for both span products (dV of probabilities·V and dK of scoresᵀ·Q).
+func matMulTransASpansInto(dst, a, b *Matrix, spans []Span) {
+	dc := dst.Cols
+	for i := 0; i < a.Rows; i++ {
+		sp := spans[i]
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		// Four dst rows per pass, sharing each brow load. Distinct j values
+		// touch distinct dst rows and each element still accumulates its
+		// i-terms in the outer loop's order, so this is bitwise identical.
+		j := sp.Lo
+		for ; j+4 <= sp.Hi; j += 4 {
+			a0, a1, a2, a3 := arow[j], arow[j+1], arow[j+2], arow[j+3]
+			o0 := dst.Data[int(j)*dc : int(j)*dc+dc][:len(brow)]
+			o1 := dst.Data[int(j+1)*dc : int(j+1)*dc+dc][:len(brow)]
+			o2 := dst.Data[int(j+2)*dc : int(j+2)*dc+dc][:len(brow)]
+			o3 := dst.Data[int(j+3)*dc : int(j+3)*dc+dc][:len(brow)]
+			for x, bv := range brow {
+				o0[x] += a0 * bv
+				o1[x] += a1 * bv
+				o2[x] += a2 * bv
+				o3[x] += a3 * bv
+			}
+		}
+		for ; j < sp.Hi; j++ {
+			av := arow[j]
+			orow := dst.Data[int(j)*dc : int(j)*dc+dc][:len(brow)]
+			for x, bv := range brow {
+				orow[x] += av * bv
+			}
+		}
+	}
+}
+
+// MaskedSoftmaxQKT records the fused attention-score kernel
+// softmax_rows((q·kᵀ)·invScale) where row i participates only inside
+// spans[i] — the fusion of MatMulNodesTransB, Scale and SoftmaxRowsMasked
+// that never touches masked (i,j) pairs. spans is captured by reference and
+// must stay valid until Backward.
+func (t *Tape) MaskedSoftmaxQKT(q, k *Node, invScale float64, spans []Span) *Node {
+	n := t.node(q.Value.Rows, k.Value.Rows, backMaskedSoftmaxQKT)
+	n.a, n.b = q, k
+	n.k = invScale
+	n.spans = spans
+	MaskedSoftmaxQKTInto(n.Value, q.Value, k.Value, invScale, spans)
+	return n
+}
+
+func backMaskedSoftmaxQKT(t *Tape, n *Node) {
+	q, k := n.a, n.b
+	rows, cols := n.Value.Rows, n.Value.Cols
+	// dScores through the softmax (s ⊙ (dg − ⟨dg, s⟩) per row) and the
+	// score scale, materialized sparsely: masked positions are exact zeros.
+	dc := t.arena.Matrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		sp := n.spans[i]
+		srow := n.Value.Data[i*cols : (i+1)*cols]
+		grow := n.Grad.Data[i*cols : (i+1)*cols]
+		var dot float64
+		for j := sp.Lo; j < sp.Hi; j++ {
+			dot += grow[j] * srow[j]
+		}
+		drow := dc.Data[i*cols : (i+1)*cols]
+		for j := sp.Lo; j < sp.Hi; j++ {
+			drow[j] = srow[j] * (grow[j] - dot) * n.k
+		}
+	}
+	// scores = q·kᵀ ⇒ dq = dScores·k ; dk = dScoresᵀ·q, both restricted to
+	// the spans where dScores is nonzero.
+	if q.NeedsGrad {
+		tmp := t.arena.Matrix(q.Grad.Rows, q.Grad.Cols)
+		MatMulSpansInto(tmp, dc, k.Value, n.spans)
+		AddInPlace(q.Grad, tmp)
+	}
+	if k.NeedsGrad {
+		tmp := t.arena.Matrix(k.Grad.Rows, k.Grad.Cols)
+		matMulTransASpansInto(tmp, dc, q.Value, n.spans)
+		AddInPlace(k.Grad, tmp)
+	}
+}
+
+// MatMulSpans records c = a·b where a's rows are nonzero only inside spans
+// (the probabilities·V product of masked attention). spans is captured by
+// reference and must stay valid until Backward.
+func (t *Tape) MatMulSpans(a, b *Node, spans []Span) *Node {
+	n := t.node(a.Value.Rows, b.Value.Cols, backMatMulSpans)
+	n.a, n.b = a, b
+	n.spans = spans
+	MatMulSpansInto(n.Value, a.Value, b.Value, spans)
+	return n
+}
+
+func backMatMulSpans(t *Tape, n *Node) {
+	a, b := n.a, n.b
+	// da = dc·bᵀ, needed only inside the spans (everything downstream of a
+	// masked position is an exact zero); db = aᵀ·dc, skipping a's zeros.
+	if a.NeedsGrad {
+		cols := a.Value.Cols
+		bc := b.Value.Cols
+		for i := 0; i < a.Value.Rows; i++ {
+			sp := n.spans[i]
+			grow := n.Grad.Data[i*n.Grad.Cols : (i+1)*n.Grad.Cols]
+			arow := a.Grad.Data[i*cols : (i+1)*cols]
+			j := sp.Lo
+			for ; j+4 <= sp.Hi; j += 4 {
+				b0 := b.Value.Data[int(j)*bc : int(j)*bc+bc][:len(grow)]
+				b1 := b.Value.Data[int(j+1)*bc : int(j+1)*bc+bc][:len(grow)]
+				b2 := b.Value.Data[int(j+2)*bc : int(j+2)*bc+bc][:len(grow)]
+				b3 := b.Value.Data[int(j+3)*bc : int(j+3)*bc+bc][:len(grow)]
+				var s0, s1, s2, s3 float64
+				for x, gv := range grow {
+					s0 += gv * b0[x]
+					s1 += gv * b1[x]
+					s2 += gv * b2[x]
+					s3 += gv * b3[x]
+				}
+				arow[j] += s0
+				arow[j+1] += s1
+				arow[j+2] += s2
+				arow[j+3] += s3
+			}
+			for ; j < sp.Hi; j++ {
+				brow := b.Value.Data[int(j)*bc : int(j)*bc+bc][:len(grow)]
+				var s float64
+				for x, gv := range grow {
+					s += gv * brow[x]
+				}
+				arow[j] += s
+			}
+		}
+	}
+	if b.NeedsGrad {
+		tmp := t.arena.Matrix(b.Grad.Rows, b.Grad.Cols)
+		matMulTransASpansInto(tmp, a.Value, n.Grad, n.spans)
+		AddInPlace(b.Grad, tmp)
+	}
+}
+
+// ProjectOneHotInto computes dst = x·w exploiting DACE's feature layout: the
+// first hot columns of x are a one-hot block (row i has a single 1 at column
+// types[i]) and exactly two trailing columns (scaled cost and cardinality)
+// are dense. Row i of the product is then w[types[i],:] + cost·w[hot,:] +
+// card·w[hot+1,:]. The dense kernel's skipped terms are all exact +0 adds
+// that cannot change an IEEE-754 accumulator, and the three retained terms
+// are added in the dense kernel's ascending-k order, so the result is
+// bitwise identical to MatMulInto at a sixth of the work.
+func ProjectOneHotInto(dst, x, w *Matrix, types []int, hot int) {
+	if x.Cols != w.Rows || x.Cols != hot+2 {
+		panic(fmt.Sprintf("nn: ProjectOneHot %s · %s with %d one-hot cols", x.shape(), w.shape(), hot))
+	}
+	if dst.Rows != x.Rows || dst.Cols != w.Cols || len(types) < x.Rows {
+		panic(fmt.Sprintf("nn: ProjectOneHotInto dst %s, %d types for %s · %s", dst.shape(), len(types), x.shape(), w.shape()))
+	}
+	wc := w.Cols
+	w0 := w.Data[hot*wc : hot*wc+wc]
+	w1 := w.Data[(hot+1)*wc : (hot+1)*wc+wc][:len(w0)]
+	for i := 0; i < x.Rows; i++ {
+		ty := types[i]
+		wt := w.Data[ty*wc : ty*wc+wc][:len(w0)]
+		c0 := x.Data[i*x.Cols+hot]
+		c1 := x.Data[i*x.Cols+hot+1]
+		orow := dst.Data[i*wc : i*wc+wc][:len(w0)]
+		for j := range orow {
+			s := wt[j]
+			s += c0 * w0[j]
+			s += c1 * w1[j]
+			orow[j] = s
+		}
+	}
+}
+
+// projectOneHotGradInto accumulates xᵀ·dy into dw through the same sparsity:
+// row i contributes dy[i,:] to dw[types[i],:] and its two scaled copies to
+// the cost/card rows. Per dw element the i-terms arrive in ascending order,
+// exactly as MatMulTransAInto produces them.
+func projectOneHotGradInto(dw, x, dy *Matrix, types []int, hot int) {
+	wc := dw.Cols
+	g0 := dw.Data[hot*wc : hot*wc+wc]
+	g1 := dw.Data[(hot+1)*wc : (hot+1)*wc+wc][:len(g0)]
+	for i := 0; i < dy.Rows; i++ {
+		ty := types[i]
+		gt := dw.Data[ty*wc : ty*wc+wc][:len(g0)]
+		c0 := x.Data[i*x.Cols+hot]
+		c1 := x.Data[i*x.Cols+hot+1]
+		grow := dy.Data[i*wc : i*wc+wc][:len(g0)]
+		for j := range grow {
+			gv := grow[j]
+			gt[j] += gv
+			g0[j] += c0 * gv
+			g1[j] += c1 * gv
+		}
+	}
+}
+
+// ProjectOneHot records dst = x·w for a constant one-hot-structured feature
+// matrix x (see ProjectOneHotInto). x needs no gradient, so the adjoint only
+// produces dw, and does so touching three weight rows per input row. types
+// is captured by reference and must stay valid until Backward.
+func (t *Tape) ProjectOneHot(x *Matrix, types []int, hot int, w *Node) *Node {
+	n := t.node(x.Rows, w.Value.Cols, backProjectOneHot)
+	n.b = w
+	n.cm = x
+	n.idx = types
+	n.k = float64(hot)
+	ProjectOneHotInto(n.Value, x, w.Value, types, hot)
+	return n
+}
+
+func backProjectOneHot(t *Tape, n *Node) {
+	if !n.b.NeedsGrad {
+		return
+	}
+	tmp := t.arena.Matrix(n.b.Grad.Rows, n.b.Grad.Cols)
+	projectOneHotGradInto(tmp, n.cm, n.Grad, n.idx, int(n.k))
+	AddInPlace(n.b.Grad, tmp)
+}

@@ -127,7 +127,7 @@ func NewAttention(name string, d, dk, dv int, rng *rand.Rand) *Attention {
 // Apply records softmax(Q·Kᵀ/√dk ⊙ mask)·V. mask is an n×n constant whose
 // zero entries are excluded from each row's softmax; bias, if non-nil, is an
 // n×n constant added to the scores before the softmax (QueryFormer's tree
-// bias uses it; DACE passes nil).
+// bias uses it; DACE's hot path uses ApplySpans instead).
 func (a *Attention) Apply(t *Tape, s *Node, mask *Matrix, bias *Matrix) *Node {
 	q := t.MatMul(s, t.Leaf(a.WQ))
 	k := t.MatMul(s, t.Leaf(a.WK))
@@ -140,22 +140,34 @@ func (a *Attention) Apply(t *Tape, s *Node, mask *Matrix, bias *Matrix) *Node {
 	return t.MatMul(attn, v)
 }
 
+// ApplySpans records the same masked attention as Apply(t, s, mask, nil)
+// through the fused span kernels: row i's softmax participates only inside
+// spans[i] and masked (i,j) pairs are never computed, in either the forward
+// pass or the adjoints. Outputs and gradients are bitwise identical to the
+// unfused path (see kernels.go).
+func (a *Attention) ApplySpans(t *Tape, s *Node, spans []Span) *Node {
+	q := t.MatMul(s, t.Leaf(a.WQ))
+	k := t.MatMul(s, t.Leaf(a.WK))
+	v := t.MatMul(s, t.Leaf(a.WV))
+	attn := t.MaskedSoftmaxQKT(q, k, 1/math.Sqrt(float64(a.DK)), spans)
+	return t.MatMulSpans(attn, v, spans)
+}
+
+// ApplyOneHot is ApplySpans for a constant input whose rows are DACE plan
+// features (one-hot node type + cost + cardinality, see ProjectOneHotInto):
+// the Q/K/V projections touch only the three weight rows each input row
+// selects, in both the forward pass and the weight adjoints. Outputs and
+// gradients are bitwise identical to Apply with the equivalent dense mask.
+func (a *Attention) ApplyOneHot(t *Tape, x *Matrix, types []int, hot int, spans []Span) *Node {
+	q := t.ProjectOneHot(x, types, hot, t.Leaf(a.WQ))
+	k := t.ProjectOneHot(x, types, hot, t.Leaf(a.WK))
+	v := t.ProjectOneHot(x, types, hot, t.Leaf(a.WV))
+	attn := t.MaskedSoftmaxQKT(q, k, 1/math.Sqrt(float64(a.DK)), spans)
+	return t.MatMulSpans(attn, v, spans)
+}
+
 // Params returns the projection parameters.
 func (a *Attention) Params() []*Param { return []*Param{a.WQ, a.WK, a.WV} }
-
-// MatMulNodesTransB records c = a·bᵀ over graph nodes.
-func (t *Tape) MatMulNodesTransB(a, b *Node) *Node {
-	v := MatMulTransB(a.Value, b.Value)
-	return t.newNode(v, func(n *Node) {
-		// c = a·bᵀ ⇒ da = dc·b ; db = dcᵀ·a
-		if a.NeedsGrad {
-			AddInPlace(a.Grad, MatMul(n.Grad, b.Value))
-		}
-		if b.NeedsGrad {
-			AddInPlace(b.Grad, MatMulTransA(n.Grad, a.Value))
-		}
-	})
-}
 
 // MLP is a stack of Dense layers with ReLU between them (none after the last).
 type MLP struct {

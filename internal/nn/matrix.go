@@ -77,61 +77,154 @@ func (m *Matrix) SameShape(other *Matrix) bool {
 
 func (m *Matrix) shape() string { return fmt.Sprintf("%d×%d", m.Rows, m.Cols) }
 
-// MatMul computes a·b into a new matrix.
-func MatMul(a, b *Matrix) *Matrix {
+// The dense product kernels below are deliberately branchless in their
+// inner loops: the inputs on every hot path are dense, so the historical
+// `if av == 0 { continue }` zero-skip cost an unpredictable branch per
+// element for essentially no skipped work. Structurally sparse products
+// (the tree-attention mask) use the explicit span kernels in kernels.go
+// instead, which skip whole masked regions rather than testing elements.
+
+// MatMulInto accumulates a·b into dst (dst must be pre-zeroed for a plain
+// product). dst must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMul shape mismatch %s · %s", a.shape(), b.shape()))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulInto dst %s for %s · %s", dst.shape(), a.shape(), b.shape()))
+	}
+	bc := b.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		// Four b-rows per pass with a scalar temp chain: each orow[j] sees
+		// the same adds in the same k order as the simple loop, but is
+		// loaded and stored once per pass instead of once per k.
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := b.Data[k*bc : k*bc+bc][:len(orow)]
+			b1 := b.Data[(k+1)*bc : (k+1)*bc+bc][:len(orow)]
+			b2 := b.Data[(k+2)*bc : (k+2)*bc+bc][:len(orow)]
+			b3 := b.Data[(k+3)*bc : (k+3)*bc+bc][:len(orow)]
+			for j := range orow {
+				s := orow[j] + a0*b0[j]
+				s += a1 * b1[j]
+				s += a2 * b2[j]
+				s += a3 * b3[j]
+				orow[j] = s
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+		}
+		for ; k < len(arow); k++ {
+			av := arow[k]
+			brow := b.Data[k*bc : k*bc+bc][:len(orow)]
+			for j := range orow {
+				orow[j] += av * brow[j]
 			}
 		}
 	}
+}
+
+// MatMul computes a·b into a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
 	return out
+}
+
+// MatMulTransAInto accumulates aᵀ·b into dst (pre-zero dst for a plain
+// product). dst must not alias a or b.
+func MatMulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulTransA shape mismatch %sᵀ · %s", a.shape(), b.shape()))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulTransAInto dst %s for %sᵀ · %s", dst.shape(), a.shape(), b.shape()))
+	}
+	ac, bc, dc := a.Cols, b.Cols, dst.Cols
+	// Four a/b-row pairs per pass with a temp chain: every dst element
+	// accumulates its k-terms in ascending k order, exactly like the simple
+	// loop, with a quarter of the dst traffic.
+	k := 0
+	for ; k+4 <= a.Rows; k += 4 {
+		a0 := a.Data[k*ac : k*ac+ac]
+		a1 := a.Data[(k+1)*ac : (k+1)*ac+ac][:len(a0)]
+		a2 := a.Data[(k+2)*ac : (k+2)*ac+ac][:len(a0)]
+		a3 := a.Data[(k+3)*ac : (k+3)*ac+ac][:len(a0)]
+		b0 := b.Data[k*bc : k*bc+bc]
+		b1 := b.Data[(k+1)*bc : (k+1)*bc+bc][:len(b0)]
+		b2 := b.Data[(k+2)*bc : (k+2)*bc+bc][:len(b0)]
+		b3 := b.Data[(k+3)*bc : (k+3)*bc+bc][:len(b0)]
+		for i := range a0 {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			orow := dst.Data[i*dc : i*dc+dc][:len(b0)]
+			for j := range orow {
+				s := orow[j] + v0*b0[j]
+				s += v1 * b1[j]
+				s += v2 * b2[j]
+				s += v3 * b3[j]
+				orow[j] = s
+			}
+		}
+	}
+	for ; k < a.Rows; k++ {
+		arow := a.Data[k*ac : k*ac+ac]
+		brow := b.Data[k*bc : k*bc+bc]
+		for i, av := range arow {
+			orow := dst.Data[i*dc : i*dc+dc][:len(brow)]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
 }
 
 // MatMulTransA computes aᵀ·b into a new matrix.
 func MatMulTransA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("nn: MatMulTransA shape mismatch %sᵀ · %s", a.shape(), b.shape()))
-	}
 	out := NewMatrix(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MatMulTransAInto(out, a, b)
 	return out
 }
 
-// MatMulTransB computes a·bᵀ into a new matrix.
-func MatMulTransB(a, b *Matrix) *Matrix {
+// MatMulTransBInto accumulates a·bᵀ into dst (pre-zero dst for a plain
+// product). Each dst element receives exactly one add of a fully formed dot
+// product, so accumulating into a live gradient matrix is bitwise identical
+// to materializing the product first and adding it once.
+func MatMulTransBInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulTransB shape mismatch %s · %sᵀ", a.shape(), b.shape()))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulTransBInto dst %s for %s · %sᵀ", dst.shape(), a.shape(), b.shape()))
+	}
+	bc := b.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		// Four independent dot products per pass: each accumulator still
+		// sums its terms in ascending k order (bitwise identical to the
+		// simple loop), but the four add chains pipeline instead of
+		// serializing on one accumulator's latency.
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[j*bc : j*bc+bc][:len(arow)]
+			b1 := b.Data[(j+1)*bc : (j+1)*bc+bc][:len(arow)]
+			b2 := b.Data[(j+2)*bc : (j+2)*bc+bc][:len(arow)]
+			b3 := b.Data[(j+3)*bc : (j+3)*bc+bc][:len(arow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j] += s0
+			orow[j+1] += s1
+			orow[j+2] += s2
+			orow[j+3] += s3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Data[j*bc : j*bc+bc][:len(arow)]
 			var s float64
 			for k, av := range arow {
 				s += av * brow[k]
@@ -139,6 +232,12 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] += s
 		}
 	}
+}
+
+// MatMulTransB computes a·bᵀ into a new matrix.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
 	return out
 }
 

@@ -5,18 +5,62 @@ import (
 	"math"
 )
 
+// Every op below records a plain function pointer plus operand fields on the
+// node instead of a closure, and draws its output (and any adjoint
+// temporaries) from the tape's arena — so replaying a reused tape allocates
+// nothing. Adjoints that accumulate a matrix product into a leaf gradient
+// first materialize the product in an arena temporary and add it once,
+// preserving the summation order (and therefore the bitwise results) of the
+// original temp-then-AddInPlace formulation.
+
 // MatMul records c = a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	v := MatMul(a.Value, b.Value)
-	return t.newNode(v, func(n *Node) {
-		// dL/da = dL/dc · bᵀ ; dL/db = aᵀ · dL/dc
-		if a.NeedsGrad {
-			AddInPlace(a.Grad, MatMulTransB(n.Grad, b.Value))
-		}
-		if b.NeedsGrad {
-			AddInPlace(b.Grad, MatMulTransA(a.Value, n.Grad))
-		}
-	})
+	if a.Value.Cols != b.Value.Rows {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %s · %s", a.Value.shape(), b.Value.shape()))
+	}
+	n := t.node(a.Value.Rows, b.Value.Cols, backMatMul)
+	n.a, n.b = a, b
+	MatMulInto(n.Value, a.Value, b.Value)
+	return n
+}
+
+func backMatMul(t *Tape, n *Node) {
+	// dL/da = dL/dc · bᵀ ; dL/db = aᵀ · dL/dc
+	if n.a.NeedsGrad {
+		// MatMulTransBInto adds each fully-formed dot product once, so
+		// accumulating straight into the gradient matches temp-then-add.
+		MatMulTransBInto(n.a.Grad, n.Grad, n.b.Value)
+	}
+	if n.b.NeedsGrad {
+		tmp := t.arena.Matrix(n.b.Grad.Rows, n.b.Grad.Cols)
+		MatMulTransAInto(tmp, n.a.Value, n.Grad)
+		AddInPlace(n.b.Grad, tmp)
+	}
+}
+
+// MatMulNodesTransB records c = a·bᵀ over graph nodes.
+func (t *Tape) MatMulNodesTransB(a, b *Node) *Node {
+	if a.Value.Cols != b.Value.Cols {
+		panic(fmt.Sprintf("nn: MatMulTransB shape mismatch %s · %sᵀ", a.Value.shape(), b.Value.shape()))
+	}
+	n := t.node(a.Value.Rows, b.Value.Rows, backMatMulNodesTransB)
+	n.a, n.b = a, b
+	MatMulTransBInto(n.Value, a.Value, b.Value)
+	return n
+}
+
+func backMatMulNodesTransB(t *Tape, n *Node) {
+	// c = a·bᵀ ⇒ da = dc·b ; db = dcᵀ·a
+	if n.a.NeedsGrad {
+		tmp := t.arena.Matrix(n.a.Grad.Rows, n.a.Grad.Cols)
+		MatMulInto(tmp, n.Grad, n.b.Value)
+		AddInPlace(n.a.Grad, tmp)
+	}
+	if n.b.NeedsGrad {
+		tmp := t.arena.Matrix(n.b.Grad.Rows, n.b.Grad.Cols)
+		MatMulTransAInto(tmp, n.Grad, n.a.Value)
+		AddInPlace(n.b.Grad, tmp)
+	}
 }
 
 // Add records c = a + b for same-shape operands.
@@ -24,12 +68,15 @@ func (t *Tape) Add(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("nn: Add shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	v := a.Value.Clone()
-	AddInPlace(v, b.Value)
-	return t.newNode(v, func(n *Node) {
-		AddInPlace(a.Grad, n.Grad)
-		AddInPlace(b.Grad, n.Grad)
-	})
+	n := t.unary(a, backAdd)
+	n.b = b
+	AddInPlace(n.Value, b.Value)
+	return n
+}
+
+func backAdd(t *Tape, n *Node) {
+	AddInPlace(n.a.Grad, n.Grad)
+	AddInPlace(n.b.Grad, n.Grad)
 }
 
 // Sub records c = a − b for same-shape operands.
@@ -37,16 +84,19 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("nn: Sub shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	v := a.Value.Clone()
+	n := t.unary(a, backSub)
+	n.b = b
 	for i, x := range b.Value.Data {
-		v.Data[i] -= x
+		n.Value.Data[i] -= x
 	}
-	return t.newNode(v, func(n *Node) {
-		AddInPlace(a.Grad, n.Grad)
-		for i, g := range n.Grad.Data {
-			b.Grad.Data[i] -= g
-		}
-	})
+	return n
+}
+
+func backSub(t *Tape, n *Node) {
+	AddInPlace(n.a.Grad, n.Grad)
+	for i, g := range n.Grad.Data {
+		n.b.Grad.Data[i] -= g
+	}
 }
 
 // AddRow records c[i,j] = a[i,j] + row[0,j], broadcasting a 1×n bias over rows.
@@ -54,20 +104,25 @@ func (t *Tape) AddRow(a, row *Node) *Node {
 	if row.Value.Rows != 1 || row.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("nn: AddRow wants 1×%d bias, got %s", a.Value.Cols, row.Value.shape()))
 	}
-	v := a.Value.Clone()
+	n := t.unary(a, backAddRow)
+	n.b = row
+	v := n.Value
 	for i := 0; i < v.Rows; i++ {
 		for j := 0; j < v.Cols; j++ {
 			v.Data[i*v.Cols+j] += row.Value.Data[j]
 		}
 	}
-	return t.newNode(v, func(n *Node) {
-		AddInPlace(a.Grad, n.Grad)
-		for i := 0; i < n.Grad.Rows; i++ {
-			for j := 0; j < n.Grad.Cols; j++ {
-				row.Grad.Data[j] += n.Grad.Data[i*n.Grad.Cols+j]
-			}
+	return n
+}
+
+func backAddRow(t *Tape, n *Node) {
+	AddInPlace(n.a.Grad, n.Grad)
+	g := n.Grad
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			n.b.Grad.Data[j] += g.Data[i*g.Cols+j]
 		}
-	})
+	}
 }
 
 // Mul records the element-wise (Hadamard) product of same-shape operands.
@@ -75,122 +130,141 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("nn: Mul shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	v := a.Value.Clone()
+	n := t.unary(a, backMul)
+	n.b = b
 	for i, x := range b.Value.Data {
-		v.Data[i] *= x
+		n.Value.Data[i] *= x
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			a.Grad.Data[i] += g * b.Value.Data[i]
-			b.Grad.Data[i] += g * a.Value.Data[i]
-		}
-	})
+	return n
+}
+
+func backMul(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		n.a.Grad.Data[i] += g * n.b.Value.Data[i]
+		n.b.Grad.Data[i] += g * n.a.Value.Data[i]
+	}
 }
 
 // Scale records c = k·a for a compile-time constant k.
 func (t *Tape) Scale(a *Node, k float64) *Node {
-	v := a.Value.Clone()
-	ScaleInPlace(v, k)
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			a.Grad.Data[i] += g * k
-		}
-	})
+	n := t.unary(a, backScale)
+	n.k = k
+	ScaleInPlace(n.Value, k)
+	return n
+}
+
+func backScale(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		n.a.Grad.Data[i] += g * n.k
+	}
 }
 
 // ReLU records the rectified linear unit max(0, x).
 func (t *Tape) ReLU(a *Node) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
+	n := t.unary(a, backReLU)
+	for i, x := range n.Value.Data {
 		if x < 0 {
-			v.Data[i] = 0
+			n.Value.Data[i] = 0
 		}
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			if a.Value.Data[i] > 0 {
-				a.Grad.Data[i] += g
-			}
+	return n
+}
+
+func backReLU(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		if n.a.Value.Data[i] > 0 {
+			n.a.Grad.Data[i] += g
 		}
-	})
+	}
 }
 
 // LeakyReLU records max(x, slope·x).
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
+	n := t.unary(a, backLeakyReLU)
+	n.k = slope
+	for i, x := range n.Value.Data {
 		if x < 0 {
-			v.Data[i] = slope * x
+			n.Value.Data[i] = slope * x
 		}
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			if a.Value.Data[i] > 0 {
-				a.Grad.Data[i] += g
-			} else {
-				a.Grad.Data[i] += g * slope
-			}
+	return n
+}
+
+func backLeakyReLU(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		if n.a.Value.Data[i] > 0 {
+			n.a.Grad.Data[i] += g
+		} else {
+			n.a.Grad.Data[i] += g * n.k
 		}
-	})
+	}
 }
 
 // Sigmoid records the logistic function 1/(1+e^−x).
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
-		v.Data[i] = 1 / (1 + math.Exp(-x))
+	n := t.unary(a, backSigmoid)
+	for i, x := range n.Value.Data {
+		n.Value.Data[i] = 1 / (1 + math.Exp(-x))
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			s := n.Value.Data[i]
-			a.Grad.Data[i] += g * s * (1 - s)
-		}
-	})
+	return n
+}
+
+func backSigmoid(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		s := n.Value.Data[i]
+		n.a.Grad.Data[i] += g * s * (1 - s)
+	}
 }
 
 // Tanh records the hyperbolic tangent.
 func (t *Tape) Tanh(a *Node) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
-		v.Data[i] = math.Tanh(x)
+	n := t.unary(a, backTanh)
+	for i, x := range n.Value.Data {
+		n.Value.Data[i] = math.Tanh(x)
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			y := n.Value.Data[i]
-			a.Grad.Data[i] += g * (1 - y*y)
-		}
-	})
+	return n
+}
+
+func backTanh(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		y := n.Value.Data[i]
+		n.a.Grad.Data[i] += g * (1 - y*y)
+	}
 }
 
 // Abs records the element-wise absolute value, with subgradient 0 at 0.
 func (t *Tape) Abs(a *Node) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
-		v.Data[i] = math.Abs(x)
+	n := t.unary(a, backAbs)
+	for i, x := range n.Value.Data {
+		n.Value.Data[i] = math.Abs(x)
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			switch x := a.Value.Data[i]; {
-			case x > 0:
-				a.Grad.Data[i] += g
-			case x < 0:
-				a.Grad.Data[i] -= g
-			}
+	return n
+}
+
+func backAbs(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		switch x := n.a.Value.Data[i]; {
+		case x > 0:
+			n.a.Grad.Data[i] += g
+		case x < 0:
+			n.a.Grad.Data[i] -= g
 		}
-	})
+	}
 }
 
 // Square records the element-wise square.
 func (t *Tape) Square(a *Node) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
-		v.Data[i] = x * x
+	n := t.unary(a, backSquare)
+	for i, x := range n.Value.Data {
+		n.Value.Data[i] = x * x
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			a.Grad.Data[i] += 2 * g * a.Value.Data[i]
-		}
-	})
+	return n
+}
+
+func backSquare(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		n.a.Grad.Data[i] += 2 * g * n.a.Value.Data[i]
+	}
 }
 
 // Sum records the scalar sum of all elements.
@@ -199,13 +273,17 @@ func (t *Tape) Sum(a *Node) *Node {
 	for _, x := range a.Value.Data {
 		s += x
 	}
-	v := FromSlice(1, 1, []float64{s})
-	return t.newNode(v, func(n *Node) {
-		g := n.Grad.Data[0]
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	})
+	n := t.node(1, 1, backSum)
+	n.a = a
+	n.Value.Data[0] = s
+	return n
+}
+
+func backSum(t *Tape, n *Node) {
+	g := n.Grad.Data[0]
+	for i := range n.a.Grad.Data {
+		n.a.Grad.Data[i] += g
+	}
 }
 
 // Mean records the scalar mean of all elements.
@@ -216,21 +294,26 @@ func (t *Tape) Mean(a *Node) *Node {
 // MeanRows records the column-wise mean over rows, producing a 1×cols node.
 // It is the pooling step of deep-set style models (e.g. MSCN).
 func (t *Tape) MeanRows(a *Node) *Node {
-	v := NewMatrix(1, a.Value.Cols)
+	n := t.node(1, a.Value.Cols, backMeanRows)
+	n.a = a
+	v := n.Value
 	for i := 0; i < a.Value.Rows; i++ {
 		for j := 0; j < a.Value.Cols; j++ {
 			v.Data[j] += a.Value.Data[i*a.Value.Cols+j]
 		}
 	}
-	inv := 1 / float64(a.Value.Rows)
-	ScaleInPlace(v, inv)
-	return t.newNode(v, func(n *Node) {
-		for i := 0; i < a.Value.Rows; i++ {
-			for j := 0; j < a.Value.Cols; j++ {
-				a.Grad.Data[i*a.Value.Cols+j] += n.Grad.Data[j] * inv
-			}
+	n.k = 1 / float64(a.Value.Rows)
+	ScaleInPlace(v, n.k)
+	return n
+}
+
+func backMeanRows(t *Tape, n *Node) {
+	a := n.a
+	for i := 0; i < a.Value.Rows; i++ {
+		for j := 0; j < a.Value.Cols; j++ {
+			a.Grad.Data[i*a.Value.Cols+j] += n.Grad.Data[j] * n.k
 		}
-	})
+	}
 }
 
 // ConcatCols records the horizontal concatenation of same-row-count nodes.
@@ -246,7 +329,9 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		total += p.Value.Cols
 	}
-	v := NewMatrix(rows, total)
+	n := t.node(rows, total, backConcatCols)
+	n.parts = parts
+	v := n.Value
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < rows; i++ {
@@ -254,17 +339,20 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		off += p.Value.Cols
 	}
-	return t.newNode(v, func(n *Node) {
-		off := 0
-		for _, p := range parts {
-			for i := 0; i < rows; i++ {
-				for j := 0; j < p.Value.Cols; j++ {
-					p.Grad.Data[i*p.Value.Cols+j] += n.Grad.Data[i*total+off+j]
-				}
+	return n
+}
+
+func backConcatCols(t *Tape, n *Node) {
+	rows, total := n.Value.Rows, n.Value.Cols
+	off := 0
+	for _, p := range n.parts {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < p.Value.Cols; j++ {
+				p.Grad.Data[i*p.Value.Cols+j] += n.Grad.Data[i*total+off+j]
 			}
-			off += p.Value.Cols
 		}
-	})
+		off += p.Value.Cols
+	}
 }
 
 // ConcatRows records the vertical concatenation of same-column-count nodes.
@@ -280,37 +368,46 @@ func (t *Tape) ConcatRows(parts ...*Node) *Node {
 		}
 		total += p.Value.Rows
 	}
-	v := NewMatrix(total, cols)
+	n := t.node(total, cols, backConcatRows)
+	n.parts = parts
 	off := 0
 	for _, p := range parts {
-		copy(v.Data[off*cols:], p.Value.Data)
+		copy(n.Value.Data[off*cols:], p.Value.Data)
 		off += p.Value.Rows
 	}
-	return t.newNode(v, func(n *Node) {
-		off := 0
-		for _, p := range parts {
-			for i := range p.Grad.Data {
-				p.Grad.Data[i] += n.Grad.Data[off*cols+i]
-			}
-			off += p.Value.Rows
+	return n
+}
+
+func backConcatRows(t *Tape, n *Node) {
+	cols := n.Value.Cols
+	off := 0
+	for _, p := range n.parts {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] += n.Grad.Data[off*cols+i]
 		}
-	})
+		off += p.Value.Rows
+	}
 }
 
 // SelectRows records the sub-matrix consisting of the given row indices.
 func (t *Tape) SelectRows(a *Node, idx []int) *Node {
 	cols := a.Value.Cols
-	v := NewMatrix(len(idx), cols)
+	n := t.node(len(idx), cols, backSelectRows)
+	n.a = a
+	n.idx = idx
 	for i, r := range idx {
-		copy(v.Data[i*cols:(i+1)*cols], a.Value.Data[r*cols:(r+1)*cols])
+		copy(n.Value.Data[i*cols:(i+1)*cols], a.Value.Data[r*cols:(r+1)*cols])
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, r := range idx {
-			for j := 0; j < cols; j++ {
-				a.Grad.Data[r*cols+j] += n.Grad.Data[i*cols+j]
-			}
+	return n
+}
+
+func backSelectRows(t *Tape, n *Node) {
+	cols := n.Value.Cols
+	for i, r := range n.idx {
+		for j := 0; j < cols; j++ {
+			n.a.Grad.Data[r*cols+j] += n.Grad.Data[i*cols+j]
 		}
-	})
+	}
 }
 
 // SoftmaxRowsMasked records a row-wise softmax where only positions with
@@ -322,7 +419,10 @@ func (t *Tape) SoftmaxRowsMasked(a *Node, mask *Matrix) *Node {
 		panic(fmt.Sprintf("nn: SoftmaxRowsMasked mask shape %s vs scores %s", mask.shape(), a.Value.shape()))
 	}
 	rows, cols := a.Value.Rows, a.Value.Cols
-	v := NewMatrix(rows, cols)
+	n := t.node(rows, cols, backSoftmaxRowsMasked)
+	n.a = a
+	n.cm = mask
+	v := n.Value
 	for i := 0; i < rows; i++ {
 		max := math.Inf(-1)
 		for j := 0; j < cols; j++ {
@@ -345,19 +445,22 @@ func (t *Tape) SoftmaxRowsMasked(a *Node, mask *Matrix) *Node {
 			v.Data[i*cols+j] /= z
 		}
 	}
-	return t.newNode(v, func(n *Node) {
-		// Row-wise softmax adjoint: da = s ⊙ (dg − ⟨dg, s⟩).
-		for i := 0; i < rows; i++ {
-			var dot float64
-			for j := 0; j < cols; j++ {
-				dot += n.Grad.Data[i*cols+j] * n.Value.Data[i*cols+j]
-			}
-			for j := 0; j < cols; j++ {
-				s := n.Value.Data[i*cols+j]
-				a.Grad.Data[i*cols+j] += s * (n.Grad.Data[i*cols+j] - dot)
-			}
+	return n
+}
+
+func backSoftmaxRowsMasked(t *Tape, n *Node) {
+	// Row-wise softmax adjoint: da = s ⊙ (dg − ⟨dg, s⟩).
+	rows, cols := n.Value.Rows, n.Value.Cols
+	for i := 0; i < rows; i++ {
+		var dot float64
+		for j := 0; j < cols; j++ {
+			dot += n.Grad.Data[i*cols+j] * n.Value.Data[i*cols+j]
 		}
-	})
+		for j := 0; j < cols; j++ {
+			s := n.Value.Data[i*cols+j]
+			n.a.Grad.Data[i*cols+j] += s * (n.Grad.Data[i*cols+j] - dot)
+		}
+	}
 }
 
 // AddConst records c = a + constant matrix k (no gradient into k). It is
@@ -366,11 +469,13 @@ func (t *Tape) AddConst(a *Node, k *Matrix) *Node {
 	if !a.Value.SameShape(k) {
 		panic(fmt.Sprintf("nn: AddConst shape mismatch %s vs %s", a.Value.shape(), k.shape()))
 	}
-	v := a.Value.Clone()
-	AddInPlace(v, k)
-	return t.newNode(v, func(n *Node) {
-		AddInPlace(a.Grad, n.Grad)
-	})
+	n := t.unary(a, backAddConst)
+	AddInPlace(n.Value, k)
+	return n
+}
+
+func backAddConst(t *Tape, n *Node) {
+	AddInPlace(n.a.Grad, n.Grad)
 }
 
 // MulConst records the element-wise product with a constant matrix (no
@@ -379,15 +484,18 @@ func (t *Tape) MulConst(a *Node, k *Matrix) *Node {
 	if !a.Value.SameShape(k) {
 		panic(fmt.Sprintf("nn: MulConst shape mismatch %s vs %s", a.Value.shape(), k.shape()))
 	}
-	v := a.Value.Clone()
+	n := t.unary(a, backMulConst)
+	n.cm = k
 	for i, x := range k.Data {
-		v.Data[i] *= x
+		n.Value.Data[i] *= x
 	}
-	return t.newNode(v, func(n *Node) {
-		for i, g := range n.Grad.Data {
-			a.Grad.Data[i] += g * k.Data[i]
-		}
-	})
+	return n
+}
+
+func backMulConst(t *Tape, n *Node) {
+	for i, g := range n.Grad.Data {
+		n.a.Grad.Data[i] += g * n.cm.Data[i]
+	}
 }
 
 // ScaleConst records c = s·k where s is a 1×1 node (e.g. a learnable scalar
@@ -397,15 +505,20 @@ func (t *Tape) ScaleConst(s *Node, k *Matrix) *Node {
 	if s.Value.Rows != 1 || s.Value.Cols != 1 {
 		panic(fmt.Sprintf("nn: ScaleConst wants a 1×1 scalar, got %s", s.Value.shape()))
 	}
-	v := k.Clone()
-	ScaleInPlace(v, s.Value.Data[0])
-	return t.newNode(v, func(n *Node) {
-		var g float64
-		for i, gv := range n.Grad.Data {
-			g += gv * k.Data[i]
-		}
-		s.Grad.Data[0] += g
-	})
+	n := t.node(k.Rows, k.Cols, backScaleConst)
+	n.a = s
+	n.cm = k
+	copy(n.Value.Data, k.Data)
+	ScaleInPlace(n.Value, s.Value.Data[0])
+	return n
+}
+
+func backScaleConst(t *Tape, n *Node) {
+	var g float64
+	for i, gv := range n.Grad.Data {
+		g += gv * n.cm.Data[i]
+	}
+	n.a.Grad.Data[0] += g
 }
 
 // LayerNorm records row-wise layer normalization with learnable gain and
@@ -416,10 +529,11 @@ func (t *Tape) LayerNorm(a, gain, bias *Node) *Node {
 	if gain.Value.Rows != 1 || gain.Value.Cols != cols || bias.Value.Rows != 1 || bias.Value.Cols != cols {
 		panic("nn: LayerNorm gain/bias must be 1×cols")
 	}
-	v := NewMatrix(rows, cols)
-	means := make([]float64, rows)
-	invstd := make([]float64, rows)
-	norm := NewMatrix(rows, cols)
+	n := t.node(rows, cols, backLayerNorm)
+	n.a, n.b, n.c = a, gain, bias
+	n.aux = t.arena.Matrix(rows, cols) // normalized activations, reused by the adjoint
+	n.auxF = t.arena.Floats(rows)      // per-row inverse stddevs
+	v, norm, invstd := n.Value, n.aux, n.auxF
 	for i := 0; i < rows; i++ {
 		var mu float64
 		for j := 0; j < cols; j++ {
@@ -433,31 +547,36 @@ func (t *Tape) LayerNorm(a, gain, bias *Node) *Node {
 		}
 		va /= float64(cols)
 		is := 1 / math.Sqrt(va+eps)
-		means[i], invstd[i] = mu, is
+		invstd[i] = is
 		for j := 0; j < cols; j++ {
 			x := (a.Value.Data[i*cols+j] - mu) * is
 			norm.Data[i*cols+j] = x
 			v.Data[i*cols+j] = x*gain.Value.Data[j] + bias.Value.Data[j]
 		}
 	}
-	return t.newNode(v, func(n *Node) {
-		for i := 0; i < rows; i++ {
-			var sumG, sumGX float64
-			dx := make([]float64, cols)
-			for j := 0; j < cols; j++ {
-				g := n.Grad.Data[i*cols+j]
-				gain.Grad.Data[j] += g * norm.Data[i*cols+j]
-				bias.Grad.Data[j] += g
-				dn := g * gain.Value.Data[j]
-				dx[j] = dn
-				sumG += dn
-				sumGX += dn * norm.Data[i*cols+j]
-			}
-			nc := float64(cols)
-			for j := 0; j < cols; j++ {
-				x := norm.Data[i*cols+j]
-				a.Grad.Data[i*cols+j] += invstd[i] / nc * (nc*dx[j] - sumG - x*sumGX)
-			}
+	return n
+}
+
+func backLayerNorm(t *Tape, n *Node) {
+	a, gain, bias := n.a, n.b, n.c
+	norm, invstd := n.aux, n.auxF
+	rows, cols := n.Value.Rows, n.Value.Cols
+	dx := t.arena.Floats(cols)
+	for i := 0; i < rows; i++ {
+		var sumG, sumGX float64
+		for j := 0; j < cols; j++ {
+			g := n.Grad.Data[i*cols+j]
+			gain.Grad.Data[j] += g * norm.Data[i*cols+j]
+			bias.Grad.Data[j] += g
+			dn := g * gain.Value.Data[j]
+			dx[j] = dn
+			sumG += dn
+			sumGX += dn * norm.Data[i*cols+j]
 		}
-	})
+		nc := float64(cols)
+		for j := 0; j < cols; j++ {
+			x := norm.Data[i*cols+j]
+			a.Grad.Data[i*cols+j] += invstd[i] / nc * (nc*dx[j] - sumG - x*sumGX)
+		}
+	}
 }

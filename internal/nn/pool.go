@@ -70,6 +70,9 @@ type GradPool struct {
 	workers int
 	shards  [][]*Matrix // shards[item][paramIdx]
 	tapes   []*Tape
+	// leafFns[item] is the SetLeafGrads redirect into that item's shard,
+	// built once in grow so steady-state Accumulate calls allocate nothing.
+	leafFns []func(p *Param) *Matrix
 }
 
 // NewGradPool builds a pool over params. workers <= 0 selects
@@ -91,6 +94,12 @@ func (g *GradPool) grow(n int) {
 		}
 		g.shards = append(g.shards, bufs)
 		g.tapes = append(g.tapes, NewTape())
+		g.leafFns = append(g.leafFns, func(p *Param) *Matrix {
+			if j, ok := g.index[p]; ok {
+				return bufs[j]
+			}
+			return nil
+		})
 	}
 }
 
@@ -112,12 +121,7 @@ func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) {
 		}
 		t := g.tapes[i]
 		t.Reset()
-		t.SetLeafGrads(func(p *Param) *Matrix {
-			if j, ok := g.index[p]; ok {
-				return bufs[j]
-			}
-			return nil
-		})
+		t.SetLeafGrads(g.leafFns[i])
 		t.Backward(lossFn(t, i))
 	})
 	// Deterministic reduction: fixed param-then-item order, independent of

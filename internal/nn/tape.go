@@ -1,6 +1,9 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Param is a trainable parameter: a value matrix plus a gradient accumulator
 // of the same shape. Gradients accumulate across Backward calls until an
@@ -28,28 +31,72 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // consult it to skip the expensive adjoint accumulations — this is what
 // makes LoRA fine-tuning (frozen base weights) genuinely cheaper than full
 // training. Interior nodes default to true.
+//
+// The remaining fields are the recorded operation: back is a plain function
+// pointer (never a closure, so replaying a reused tape allocates nothing)
+// and the operand/attribute fields below carry what the adjoint needs. A
+// node is owned by its tape and recycled on Reset — do not retain nodes, or
+// the matrices they point at, across a Reset.
 type Node struct {
 	Value     *Matrix
 	Grad      *Matrix
 	NeedsGrad bool
-	back      func()
+
+	back    func(t *Tape, n *Node)
+	a, b, c *Node     // operands (c: LayerNorm bias)
+	k       float64   // scalar attribute (Scale factor, softmax inverse scale, …)
+	cm      *Matrix   // constant matrix attribute (mask, AddConst/MulConst operand)
+	aux     *Matrix   // op-private forward scratch kept for the adjoint
+	auxF    []float64 // op-private float scratch (e.g. LayerNorm inverse stddevs)
+	idx     []int     // SelectRows indices / ProjectOneHot row types
+	parts   []*Node   // Concat operands
+	spans   []Span    // masked-attention row spans
 }
 
 // Tape records operations in execution order so that Backward can replay
-// their adjoints in reverse. A Tape is single-use per forward pass and is
-// not safe for concurrent use; concurrent training uses one tape per worker
-// with SetLeafGrads redirecting parameter gradients into private shards.
+// their adjoints in reverse. Node structs and all interior matrices are
+// allocated from the tape's arena and recycled by Reset, so a reused tape
+// runs forward+backward with zero steady-state heap allocations. A Tape is
+// single-use per forward pass and is not safe for concurrent use; concurrent
+// training uses one tape per worker with SetLeafGrads redirecting parameter
+// gradients into private shards.
 type Tape struct {
-	nodes    []*Node
+	nodes    []*Node // all ever-recorded nodes; nodes[:n] are live
+	n        int
+	arena    *Arena
 	leafGrad func(p *Param) *Matrix
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// NewTape returns an empty tape backed by a fresh arena.
+func NewTape() *Tape { return &Tape{arena: new(Arena)} }
 
-// Reset discards all recorded nodes so the tape can be reused. The leaf
-// gradient redirect (SetLeafGrads) is kept.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// tapePool recycles tapes (nodes, arena and chunks attached) for transient
+// single-plan passes (inference, baselines' predict paths).
+var tapePool = sync.Pool{New: func() any { return NewTape() }}
+
+// GetTape returns a reset tape from the global pool.
+func GetTape() *Tape { return tapePool.Get().(*Tape) }
+
+// PutTape resets t and returns it to the global pool. The caller must copy
+// out any node values it still needs first (the arena memory is reused).
+func PutTape(t *Tape) {
+	t.Reset()
+	t.SetLeafGrads(nil)
+	tapePool.Put(t)
+}
+
+// Arena exposes the tape's arena, valid until the next Reset. Op adjoints
+// use it for temporaries; callers may use it for per-pass scratch that
+// should die with the tape.
+func (t *Tape) Arena() *Arena { return t.arena }
+
+// Reset discards all recorded nodes and rewinds the arena so the tape can
+// be reused. Matrices previously returned by this tape's ops are invalid
+// after Reset. The leaf gradient redirect (SetLeafGrads) is kept.
+func (t *Tape) Reset() {
+	t.n = 0
+	t.arena.Reset()
+}
 
 // SetLeafGrads redirects where Leaf accumulates parameter gradients: when
 // fn returns a non-nil matrix for a parameter, Backward adds that
@@ -59,15 +106,48 @@ func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
 // direct accumulation.
 func (t *Tape) SetLeafGrads(fn func(p *Param) *Matrix) { t.leafGrad = fn }
 
-func (t *Tape) record(n *Node) *Node {
-	t.nodes = append(t.nodes, n)
-	return n
+// alloc returns a cleared Node, recycling one recorded before the last
+// Reset when available.
+func (t *Tape) alloc() *Node {
+	var nd *Node
+	if t.n < len(t.nodes) {
+		nd = t.nodes[t.n]
+		*nd = Node{}
+	} else {
+		nd = &Node{}
+		t.nodes = append(t.nodes, nd)
+	}
+	t.n++
+	return nd
+}
+
+// node records a fresh interior node with a zeroed rows×cols value and
+// gradient from the arena.
+func (t *Tape) node(rows, cols int, back func(*Tape, *Node)) *Node {
+	nd := t.alloc()
+	nd.Value = t.arena.Matrix(rows, cols)
+	nd.Grad = t.arena.Matrix(rows, cols)
+	nd.NeedsGrad = true
+	nd.back = back
+	return nd
+}
+
+// unary records an interior node whose value starts as a copy of a.Value —
+// the arena-backed replacement for the old Clone-then-mutate op pattern.
+func (t *Tape) unary(a *Node, back func(*Tape, *Node)) *Node {
+	nd := t.node(a.Value.Rows, a.Value.Cols, back)
+	nd.a = a
+	copy(nd.Value.Data, a.Value.Data)
+	return nd
 }
 
 // Const introduces a matrix the graph treats as a constant: no gradient
 // flows into it.
 func (t *Tape) Const(m *Matrix) *Node {
-	return t.record(&Node{Value: m, Grad: NewMatrix(m.Rows, m.Cols)})
+	nd := t.alloc()
+	nd.Value = m
+	nd.Grad = t.arena.Matrix(m.Rows, m.Cols)
+	return nd
 }
 
 // Leaf introduces a parameter as a graph leaf. Its node gradient aliases the
@@ -80,7 +160,11 @@ func (t *Tape) Leaf(p *Param) *Node {
 			g = s
 		}
 	}
-	return t.record(&Node{Value: p.Value, Grad: g, NeedsGrad: !p.Frozen})
+	nd := t.alloc()
+	nd.Value = p.Value
+	nd.Grad = g
+	nd.NeedsGrad = !p.Frozen
+	return nd
 }
 
 // Backward seeds the gradient of the scalar output node with 1 and
@@ -91,17 +175,9 @@ func (t *Tape) Backward(out *Node) {
 		panic(fmt.Sprintf("nn: Backward requires a scalar output, got %s", out.Value.shape()))
 	}
 	out.Grad.Data[0] += 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
+	for i := t.n - 1; i >= 0; i-- {
 		if n := t.nodes[i]; n.back != nil {
-			n.back()
+			n.back(t, n)
 		}
 	}
-}
-
-func (t *Tape) newNode(v *Matrix, back func(n *Node)) *Node {
-	n := &Node{Value: v, Grad: NewMatrix(v.Rows, v.Cols), NeedsGrad: true}
-	if back != nil {
-		n.back = func() { back(n) }
-	}
-	return t.record(n)
 }

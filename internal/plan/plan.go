@@ -118,11 +118,15 @@ type Plan struct {
 // DFS returns the plan's nodes in depth-first pre-order (root first,
 // children left to right) — the node sequence the information catcher feeds
 // to the encoder.
-func (p *Plan) DFS() []*Node {
-	var out []*Node
+func (p *Plan) DFS() []*Node { return p.AppendDFS(nil) }
+
+// AppendDFS appends the DFS pre-order node sequence to buf and returns the
+// extended slice — the allocation-free variant of DFS for hot inference
+// paths that reuse a scratch buffer.
+func (p *Plan) AppendDFS(buf []*Node) []*Node {
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		out = append(out, n)
+		buf = append(buf, n)
 		for _, c := range n.Children {
 			walk(c)
 		}
@@ -130,7 +134,7 @@ func (p *Plan) DFS() []*Node {
 	if p.Root != nil {
 		walk(p.Root)
 	}
-	return out
+	return buf
 }
 
 // NodeCount returns the number of operators in the plan.
@@ -139,11 +143,14 @@ func (p *Plan) NodeCount() int { return len(p.DFS()) }
 // Heights returns, for each node in DFS order, its height: the length of
 // the (unique, hence shortest) path from the node to the root. The root has
 // height 0.
-func (p *Plan) Heights() []int {
-	var out []int
+func (p *Plan) Heights() []int { return p.AppendHeights(nil) }
+
+// AppendHeights appends the per-node heights (DFS order) to buf and returns
+// the extended slice.
+func (p *Plan) AppendHeights(buf []int) []int {
 	var walk func(n *Node, h int)
 	walk = func(n *Node, h int) {
-		out = append(out, h)
+		buf = append(buf, h)
 		for _, c := range n.Children {
 			walk(c, h+1)
 		}
@@ -151,7 +158,7 @@ func (p *Plan) Heights() []int {
 	if p.Root != nil {
 		walk(p.Root, 0)
 	}
-	return out
+	return buf
 }
 
 // Adjacency returns the n×n ancestor matrix A(p) over the DFS order:
@@ -179,23 +186,29 @@ func (p *Plan) Adjacency() [][]float64 {
 
 // subtreeSizes returns, for each DFS position, the size of the subtree
 // rooted there (including itself).
-func subtreeSizes(p *Plan) []int {
-	var out []int
+func subtreeSizes(p *Plan) []int { return p.AppendSubtreeSizes(nil) }
+
+// AppendSubtreeSizes appends, for each DFS position, the size of the
+// subtree rooted there (including itself) to buf and returns the extended
+// slice. Because descendants are contiguous in DFS pre-order, row i of the
+// ancestor matrix is exactly the span [i, i+size_i) — which is how the
+// attention kernels represent the tree mask without materializing it.
+func (p *Plan) AppendSubtreeSizes(buf []int) []int {
 	var walk func(n *Node) int
 	walk = func(n *Node) int {
-		pos := len(out)
-		out = append(out, 0)
+		pos := len(buf)
+		buf = append(buf, 0)
 		size := 1
 		for _, c := range n.Children {
 			size += walk(c)
 		}
-		out[pos] = size
+		buf[pos] = size
 		return size
 	}
 	if p.Root != nil {
 		walk(p.Root)
 	}
-	return out
+	return buf
 }
 
 // Distances returns the n×n matrix of tree distances d(i,j) = steps from

@@ -192,12 +192,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// bufPool recycles response encode buffers across requests; buffers keep
+// their grown capacity, so steady-state serving stops allocating them.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // writeJSON buffers the whole encode before touching the ResponseWriter,
 // so an encode failure yields a clean 500 rather than a second JSON object
 // appended to a partially written body.
 func writeJSON(w http.ResponseWriter, v any) {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -247,3 +247,33 @@ func TestHealthRejectsNonGET(t *testing.T) {
 		t.Fatalf("POST /healthz: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
 	}
 }
+
+// TestPredictHandlerAllocs bounds per-request allocations on /predict. The
+// JSON decode/encode and net/http plumbing dominate — the model itself
+// predicts allocation-free — so the budget is generous but still catches a
+// hot-path regression (pre-pooling this sat several hundred higher for
+// large plans).
+func TestPredictHandlerAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	s, samples := trainedServer(t)
+	h := s.Handler()
+	var body bytes.Buffer
+	if err := samples[0].Plan.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	raw := body.Bytes()
+	do := func() {
+		req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	do() // warm pools
+	if avg := testing.AllocsPerRun(100, do); avg > 400 {
+		t.Fatalf("/predict allocates %.0f/op, want <= 400", avg)
+	}
+}
