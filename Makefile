@@ -3,7 +3,7 @@ GO ?= go
 # Packages that gained concurrency (worker-pool training / batch inference,
 # pooled tapes and scratch encoders) and must stay clean under the race
 # detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/baselines
+RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/servecache ./internal/baselines
 
 .PHONY: all fmt vet build test race bench ci
 
@@ -30,6 +30,11 @@ race:
 # the PR 1 baseline (or -baseline <file>).
 bench:
 	$(GO) run ./cmd/bench -quick
+
+# The CI smoke gate: quick benchmark (serve pipeline included) that fails
+# on a >25% throughput regression against the committed baseline JSON.
+bench-check:
+	$(GO) run ./cmd/bench -quick -baseline BENCH_2026-08-06.json -check -max-regress 25
 
 # The raw go-test benchmarks (heavier; regenerates paper artifacts too with
 # `-bench .`).

@@ -117,6 +117,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "model seed (workload generation is fixed independently)")
 	out := flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 	baselinePath := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: built-in PR 1 numbers)")
+	check := flag.Bool("check", false, "exit non-zero if any scenario's plans/sec regresses more than -max-regress vs the baseline")
+	maxRegress := flag.Float64("max-regress", 25, "regression threshold for -check, percent")
 	flag.Parse()
 
 	if *runs == 0 {
@@ -190,6 +192,13 @@ func main() {
 			fmt.Sprintf("predict_batch/workers=%d", w), 1, len(test), *warmup, *runs,
 			func(int) { m.PredictBatch(test, w) }))
 	}
+	predsBuf := make([]float64, 0, 256)
+	rep.Results = append(rep.Results, measure("predict_subplans_append", len(test), 1, *warmup, *runs,
+		func(i int) { predsBuf = m.AppendPredictSubPlans(predsBuf[:0], test[i]) }))
+
+	// End-to-end serving scenarios: concurrent HTTP clients against the
+	// cached+batched pipeline and the uncached baseline server.
+	speedup := benchServe(&rep, m, test, *quick)
 
 	path := *out
 	if path == "" {
@@ -208,6 +217,37 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 
 	printMarkdown(rep, baseline)
+	if speedup > 0 {
+		fmt.Printf("serving pipeline speedup at c=64 / 90%% repeated plans: **%.2f×** vs uncached\n\n", speedup)
+	}
+
+	if *check {
+		if regressions := checkRegressions(rep, baseline, *maxRegress); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no regression > %.0f%% vs baseline\n", *maxRegress)
+	}
+}
+
+// checkRegressions compares throughput scenario-by-scenario against the
+// baseline (scenarios absent from it are skipped) and reports every drop
+// beyond maxRegress percent — the CI smoke gate.
+func checkRegressions(rep Report, baseline map[string]Result, maxRegress float64) []string {
+	var out []string
+	for _, r := range rep.Results {
+		base, ok := baseline[r.Name]
+		if !ok || base.PlansPerSec == 0 {
+			continue
+		}
+		if r.PlansPerSec < base.PlansPerSec*(1-maxRegress/100) {
+			out = append(out, fmt.Sprintf("%s: %.0f plans/s vs baseline %.0f (%.1f%% drop)",
+				r.Name, r.PlansPerSec, base.PlansPerSec, (1-r.PlansPerSec/base.PlansPerSec)*100))
+		}
+	}
+	return out
 }
 
 // workerCounts returns the worker sweeps: serial plus all CPUs (when >1).

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/plan"
+	"dace/internal/serve"
+)
+
+// serveCase is one end-to-end serving scenario: concurrency level, target
+// hit rate (fraction of requests drawn from a small hot set of repeated
+// plans), and the pipeline configuration under test.
+type serveCase struct {
+	name string
+	conc int
+	hit  float64
+	cfg  serve.Config // zero value = the uncached, unbatched PR 2 server
+}
+
+// cachedConfig mirrors daced's defaults at bench scale.
+func cachedConfig() serve.Config {
+	return serve.Config{
+		CacheSize:  8192,
+		MaxBatch:   64,
+		MaxWait:    200 * time.Microsecond,
+		QueueDepth: 8192,
+	}
+}
+
+// serveCases is the scenario grid: the uncached baseline and the full
+// pipeline at matching concurrency, plus a hit-rate sweep at c=64. Quick
+// mode keeps only the acceptance pair (c=64, 90% repeated plans).
+func serveCases(quick bool) []serveCase {
+	if quick {
+		return []serveCase{
+			{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}},
+			{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig()},
+		}
+	}
+	return []serveCase{
+		{"serve/uncached/c=16/hit=90", 16, 0.90, serve.Config{}},
+		{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}},
+		{"serve/cached/c=16/hit=90", 16, 0.90, cachedConfig()},
+		{"serve/cached/c=64/hit=50", 64, 0.50, cachedConfig()},
+		{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig()},
+		{"serve/cached/c=64/hit=99", 64, 0.99, cachedConfig()},
+	}
+}
+
+// workload generates deterministic /predict request bodies: hot requests
+// repeat one of a small set of plans verbatim (cacheable), cold requests
+// perturb a plan's root cost so every one is a distinct fingerprint. A
+// shared cold counter keeps cold bodies unique across warmup and
+// measurement, so the measured hit rate stays at the target instead of
+// drifting up as "cold" plans recur.
+type workload struct {
+	hot    [][]byte
+	base   []*plan.Plan
+	coldID atomic.Int64
+}
+
+func newWorkload(plans []*plan.Plan, hotSet int) *workload {
+	w := &workload{base: plans}
+	for i := 0; i < hotSet; i++ {
+		w.hot = append(w.hot, mustBody(plans[i%len(plans)]))
+	}
+	return w
+}
+
+func mustBody(p *plan.Plan) []byte {
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		log.Fatalf("bench: encode plan: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// bodies builds a request sequence of length n at the given hit rate.
+func (w *workload) bodies(n int, hit float64, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		if rng.Float64() < hit {
+			out[i] = w.hot[rng.Intn(len(w.hot))]
+			continue
+		}
+		id := w.coldID.Add(1)
+		p := w.base[int(id)%len(w.base)]
+		cold, err := plan.ReadJSON(bytes.NewReader(mustBody(p)))
+		if err != nil {
+			log.Fatalf("bench: clone plan: %v", err)
+		}
+		// A sub-ulp-scale cost nudge: a new fingerprint, same workload shape.
+		cold.Root.EstCost *= 1 + float64(id)*1e-9
+		out[i] = mustBody(cold)
+	}
+	return out
+}
+
+// benchServe measures end-to-end /predict throughput and latency through
+// httptest servers — real HTTP over loopback, concurrent clients — for
+// every scenario, verifying first that the pipeline's responses are
+// byte-identical to the uncached server's. Appends one Result per case and
+// returns the cached/uncached speedup at the acceptance point (c=64,
+// hit=90), or 0 when that pair was not measured.
+func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) float64 {
+	n := 4000
+	if quick {
+		n = 1200
+	}
+	w := newWorkload(plans, 8)
+	perSec := map[string]float64{}
+
+	for _, sc := range serveCases(quick) {
+		s := serve.NewWithConfig(m, sc.cfg)
+		verifyPipeline(s, m, w)
+		srv := httptest.NewServer(s.Handler())
+
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        sc.conc * 2,
+			MaxIdleConnsPerHost: sc.conc * 2,
+		}}
+		run := func(bodies [][]byte, record []float64) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < sc.conc; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(bodies) {
+							return
+						}
+						t0 := time.Now()
+						resp, err := client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(bodies[i]))
+						if err != nil {
+							log.Fatalf("bench: %s: %v", sc.name, err)
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							log.Fatalf("bench: %s: status %d", sc.name, resp.StatusCode)
+						}
+						if record != nil {
+							record[i] = float64(time.Since(t0))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+
+		run(w.bodies(n/4, sc.hit, 7), nil) // warmup: fill caches, warm conns
+		lat := make([]float64, n)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		run(w.bodies(n, sc.hit, 11), lat)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		sort.Float64s(lat)
+		q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+		perSec[sc.name] = float64(n) / elapsed.Seconds()
+		rep.Results = append(rep.Results, Result{
+			Name:        sc.name,
+			Runs:        1,
+			OpsPerRun:   n,
+			PlansPerSec: perSec[sc.name],
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			P50Ns:       q(0.50),
+			P95Ns:       q(0.95),
+			P99Ns:       q(0.99),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+			NumGC:       after.NumGC - before.NumGC,
+		})
+		fmt.Fprintf(os.Stderr, "bench: %s done (%.0f req/s)\n", sc.name, perSec[sc.name])
+
+		srv.Close()
+		s.Close()
+		client.CloseIdleConnections()
+	}
+
+	base, cached := perSec["serve/uncached/c=64/hit=90"], perSec["serve/cached/c=64/hit=90"]
+	if base == 0 {
+		return 0
+	}
+	return cached / base
+}
+
+// verifyPipeline asserts the serving contract before any timing: for every
+// hot plan and a handful of cold ones, the configured pipeline's response
+// bytes must equal the plain uncached server's — bitwise-identical
+// predictions, not approximately equal ones.
+func verifyPipeline(s *serve.Server, m *core.Model, w *workload) {
+	plain := serve.New(m)
+	probe := append(append([][]byte{}, w.hot...), w.bodies(4, 0, 3)...)
+	for i, body := range probe {
+		for _, rep := range []int{0, 1} { // second pass hits the cache
+			got := postOnce(s, body)
+			want := postOnce(plain, body)
+			if !bytes.Equal(got, want) {
+				log.Fatalf("bench: pipeline response diverged from uncached server (probe %d, pass %d)", i, rep)
+			}
+		}
+	}
+}
+
+func postOnce(s *serve.Server, body []byte) []byte {
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		log.Fatalf("bench: verify request failed with status %d", rec.Code)
+	}
+	return rec.Body.Bytes()
+}

@@ -1,19 +1,26 @@
 // Command daced serves a trained DACE model over HTTP for query
-// performance prediction.
+// performance prediction, with the full serving pipeline on by default:
+// plan-fingerprint caching, request coalescing, and dynamic micro-batching.
 //
 //	daced -model dace.json -addr :8080
+//	daced -model dace.json -cache-size 0 -max-batch 1   # raw per-request inference
 //	curl -XPOST localhost:8080/predict --data-binary @plan.json
 //	curl -XPOST 'localhost:8080/predict?format=pg' --data-binary @explain.json
 //	curl localhost:8080/healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-pprof listener only)
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dace/internal/core"
 	"dace/internal/serve"
@@ -24,6 +31,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	lora := flag.Bool("lora", false, "model file contains LoRA adapters")
 	workers := flag.Int("workers", 0, "batch-inference worker goroutines (0 = all CPUs)")
+	cacheSize := flag.Int("cache-size", 8192, "prediction cache entries (0 disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "prediction cache entry TTL (0 = no expiry)")
+	maxBatch := flag.Int("max-batch", 64, "max plans per micro-batch (<= 1 disables micro-batching)")
+	maxWait := flag.Duration("max-wait", 200*time.Microsecond, "max time a queued request waits for its batch to fill")
+	queueDepth := flag.Int("queue-depth", 4096, "bounded request queue feeding the batcher (0 = 8*max-batch); full queue answers 503")
 	pprofAddr := flag.String("pprof", "", "if set (e.g. localhost:6060), serve net/http/pprof on this address")
 	flag.Parse()
 
@@ -49,8 +61,37 @@ func main() {
 		}()
 	}
 
-	s := serve.New(m)
+	s := serve.NewWithConfig(m, serve.Config{
+		CacheSize:  *cacheSize,
+		CacheTTL:   *cacheTTL,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queueDepth,
+	})
 	s.Workers = *workers
-	fmt.Printf("daced: serving %s on %s\n", *modelPath, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("daced: serving %s on %s (cache=%d batch=%d wait=%s queue=%d)\n",
+		*modelPath, *addr, *cacheSize, *maxBatch, *maxWait, *queueDepth)
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish,
+	// then drain the micro-batcher so every queued prediction is answered.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("daced: %s — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("daced: shutdown: %v", err)
+		}
+		cancel()
+		s.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("daced: %v", err)
+		}
+	}
 }

@@ -55,3 +55,28 @@ func TestPredictSubPlansSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("PredictSubPlans allocates %.2f/op at steady state, want <= 10", avg)
 	}
 }
+
+// TestAppendPredictSubPlansZeroAllocs is the serving-layer guard: with a
+// recycled result buffer the sub-plan path must be allocation-free at
+// steady state — the last per-call allocation (the result slice) is gone.
+func TestAppendPredictSubPlansZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := workloadPlans(t, schema.IMDB(), 40, executor.M1())
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m := Train(plans, cfg)
+	buf := make([]float64, 0, 256)
+	for _, p := range plans {
+		buf = m.AppendPredictSubPlans(buf[:0], p)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		buf = m.AppendPredictSubPlans(buf[:0], plans[i%len(plans)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("AppendPredictSubPlans allocates %.2f/op at steady state, want 0", avg)
+	}
+}

@@ -357,17 +357,38 @@ func (m *Model) PredictSubPlansBatch(plans []*plan.Plan, workers int) [][]float6
 // PredictSubPlans returns estimated latencies (ms) for every node in DFS
 // order — the parallel sub-plan prediction of Eq. (6).
 func (m *Model) PredictSubPlans(p *plan.Plan) []float64 {
+	return m.AppendPredictSubPlans(make([]float64, 0, countNodes(p.Root)), p)
+}
+
+// countNodes sizes the PredictSubPlans result without the []*Node scratch
+// slice plan.NodeCount would allocate.
+func countNodes(n *plan.Node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// AppendPredictSubPlans appends the plan's per-node latency predictions
+// (DFS order) to buf and returns the extended slice — the allocation-free
+// variant of PredictSubPlans for serving paths that recycle a result
+// buffer: with enough spare capacity in buf the call performs zero
+// allocations at steady state.
+func (m *Model) AppendPredictSubPlans(buf []float64, p *plan.Plan) []float64 {
 	s := scratchPool.Get().(*scratch)
 	enc := m.Enc.EncodeInto(&s.enc, p)
 	t := nn.GetTape()
 	pred, _ := m.forward(t, enc, -1)
-	out := make([]float64, pred.Value.Rows)
-	for i := range out {
-		out[i] = m.Enc.InverseLabel(pred.Value.At(i, 0))
+	for i := 0; i < pred.Value.Rows; i++ {
+		buf = append(buf, m.Enc.InverseLabel(pred.Value.At(i, 0)))
 	}
 	nn.PutTape(t)
 	scratchPool.Put(s)
-	return out
+	return buf
 }
 
 // EmbedDim is the width of the pre-trained-encoder output: h₂ plus one

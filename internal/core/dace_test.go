@@ -359,3 +359,31 @@ func TestGradCheckDACELoss(t *testing.T) {
 		t.Fatalf("DACE loss gradient check failed: %v", worst)
 	}
 }
+
+// TestAppendPredictSubPlansMatches pins the append variant to the
+// allocating one: identical (bitwise) predictions, buffer prefix preserved,
+// and correct behaviour when the buffer is reused across plans.
+func TestAppendPredictSubPlansMatches(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 12, executor.M1())
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m := Train(plans, cfg)
+
+	buf := []float64{-1, -2} // sentinel prefix must survive untouched
+	for _, p := range plans {
+		want := m.PredictSubPlans(p)
+		buf = m.AppendPredictSubPlans(buf[:2], p)
+		if buf[0] != -1 || buf[1] != -2 {
+			t.Fatal("AppendPredictSubPlans clobbered the buffer prefix")
+		}
+		got := buf[2:]
+		if len(got) != len(want) {
+			t.Fatalf("append returned %d preds, PredictSubPlans %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pred %d: append %v vs alloc %v (must be bitwise equal)", i, got[i], want[i])
+			}
+		}
+	}
+}

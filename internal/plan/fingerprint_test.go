@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"testing"
+)
+
+// clonePlan deep-copies the operator tree (Meta/SQL excluded — the
+// fingerprint ignores them anyway).
+func clonePlan(p *Plan) *Plan {
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		out := &Node{Type: n.Type, EstRows: n.EstRows, EstCost: n.EstCost,
+			ActualRows: n.ActualRows, ActualMS: n.ActualMS}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, cp(c))
+		}
+		return out
+	}
+	return &Plan{Database: p.Database, Root: cp(p.Root)}
+}
+
+func TestFingerprintEqualPlans(t *testing.T) {
+	a, b := samplePlan(), clonePlan(samplePlan())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("structurally equal plans must share a fingerprint")
+	}
+	// Determinism across calls on the same tree.
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	// Model-invisible fields must not perturb the hash.
+	b.Database = "otherdb"
+	b.SQL = "SELECT 1"
+	b.Root.Meta = &Meta{Table: "t9"}
+	b.Root.ActualMS = 123.45
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("Database/SQL/Meta/ActualMS must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintPerturbations(t *testing.T) {
+	base := samplePlan().Fingerprint()
+	for name, mutate := range map[string]func(p *Plan){
+		"node type":       func(p *Plan) { p.Root.Children[0].Type = MergeJoin },
+		"est cost":        func(p *Plan) { p.Root.EstCost += 1e-9 },
+		"est rows":        func(p *Plan) { p.Root.Children[0].EstRows *= 2 },
+		"actual rows":     func(p *Plan) { p.Root.Children[0].ActualRows = 7 },
+		"child order":     func(p *Plan) { c := p.Root.Children[0].Children; c[0], c[1] = c[1], c[0] },
+		"dropped subtree": func(p *Plan) { p.Root.Children[0].Children[1].Children = nil },
+		"extra node": func(p *Plan) {
+			p.Root.Children = []*Node{{Type: Limit, EstRows: 1, EstCost: 1, Children: p.Root.Children}}
+		},
+	} {
+		p := clonePlan(samplePlan())
+		mutate(p)
+		if p.Fingerprint() == base {
+			t.Errorf("%s perturbation did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintStructureNotJustSequence checks that two different trees
+// over the same DFS node sequence hash differently: reparenting changes
+// child counts even when the flat (type, features) sequence is unchanged.
+func TestFingerprintStructureNotJustSequence(t *testing.T) {
+	// Sort -> Materialize -> Limit chain ...
+	chain := &Plan{Root: &Node{Type: Sort, EstRows: 1, EstCost: 1,
+		Children: []*Node{{Type: Materialize, EstRows: 1, EstCost: 1,
+			Children: []*Node{{Type: Limit, EstRows: 1, EstCost: 1,
+				Children: []*Node{{Type: SeqScan, EstRows: 1, EstCost: 1}}}}}}}}
+	// ... vs the same DFS sequence with Limit's scan hoisted under Materialize.
+	// (Not a valid unary shape — Validate would reject it — but the hash must
+	// still separate it: the cache keys raw request plans, valid or not.)
+	rehung := &Plan{Root: &Node{Type: Sort, EstRows: 1, EstCost: 1,
+		Children: []*Node{{Type: Materialize, EstRows: 1, EstCost: 1,
+			Children: []*Node{
+				{Type: Limit, EstRows: 1, EstCost: 1},
+				{Type: SeqScan, EstRows: 1, EstCost: 1},
+			}}}}}
+	if chain.Fingerprint() == rehung.Fingerprint() {
+		t.Fatal("trees with equal DFS sequences but different shapes must differ")
+	}
+}
+
+func TestFingerprintCanonicalFloats(t *testing.T) {
+	a, b := samplePlan(), samplePlan()
+	a.Root.EstRows = 0
+	b.Root.EstRows = math.Copysign(0, -1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("+0 and -0 must hash equally")
+	}
+	a.Root.EstRows = math.NaN()
+	b.Root.EstRows = math.Float64frombits(0x7ff8000000000099) // different NaN payload
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("all NaN payloads must hash equally")
+	}
+}
+
+func TestFingerprintNilAndString(t *testing.T) {
+	var p *Plan
+	if !p.Fingerprint().IsZero() || !(&Plan{}).Fingerprint().IsZero() {
+		t.Fatal("nil plan / nil root must hash to the zero fingerprint")
+	}
+	if samplePlan().Fingerprint().IsZero() {
+		t.Fatal("a real plan must not hash to the zero fingerprint")
+	}
+	s := samplePlan().Fingerprint().String()
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(s) {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+}
+
+func TestFingerprintAllocFree(t *testing.T) {
+	p := samplePlan()
+	if avg := testing.AllocsPerRun(100, func() { p.Fingerprint() }); avg != 0 {
+		t.Fatalf("Fingerprint allocates %.1f/op, want 0", avg)
+	}
+}
+
+// FuzzFingerprint feeds arbitrary JSON plan documents through the hash and
+// checks the invariants a cache key must hold: determinism, stability across
+// a JSON round-trip, and sensitivity to a model-visible feature change.
+func FuzzFingerprint(f *testing.F) {
+	var seed bytes.Buffer
+	samplePlan().WriteJSON(&seed)
+	f.Add(seed.String())
+	f.Add(`{"database":"d","root":{"type":0,"est_rows":10,"est_cost":3.5}}`)
+	f.Add(`{"root":{"type":5,"est_rows":1,"est_cost":2,"children":[` +
+		`{"type":0,"est_rows":4,"est_cost":1},{"type":1,"est_rows":9,"est_cost":8}]}}`)
+	f.Add(`{"root":{"type":9,"est_rows":1e300,"est_cost":-0,"actual_rows":17,` +
+		`"children":[{"type":15,"est_rows":0.001,"est_cost":42}]}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := ReadJSON(bytes.NewReader([]byte(doc)))
+		if err != nil || p.Root == nil {
+			return
+		}
+		fp := p.Fingerprint()
+		if fp != p.Fingerprint() {
+			t.Fatal("fingerprint is not deterministic")
+		}
+		if fp.IsZero() {
+			t.Fatal("non-nil root hashed to the zero fingerprint")
+		}
+		// JSON round-trip must preserve the hash (shortest-float encoding is
+		// exact); ±Inf/NaN are not encodable, so only assert when it encodes.
+		var buf bytes.Buffer
+		if json.NewEncoder(&buf).Encode(p) == nil {
+			rt, err := ReadJSON(&buf)
+			if err != nil {
+				t.Fatalf("round-trip decode: %v", err)
+			}
+			if rt.Fingerprint() != fp {
+				t.Fatalf("fingerprint changed across JSON round-trip: %s vs %s", fp, rt.Fingerprint())
+			}
+		}
+		// A model-visible perturbation must move the hash (collision odds 2^-128).
+		old := p.Root.EstCost
+		p.Root.EstCost = old + 1 + math.Abs(old)/1024
+		if canonBits(p.Root.EstCost) != canonBits(old) && p.Fingerprint() == fp {
+			t.Fatal("est-cost perturbation did not change the fingerprint")
+		}
+	})
+}

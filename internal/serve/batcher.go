@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dace/internal/plan"
+)
+
+// batcher is the dynamic micro-batching stage: /predict cache misses
+// enqueue onto a bounded channel, and a single collector goroutine drains
+// up to maxBatch requests — waiting at most maxWait for stragglers after
+// the first arrival — then fans the batch through Model.PredictSubPlansBatch.
+// Under light load a request waits at most maxWait; under heavy load
+// batches fill instantly and the wait never triggers, so throughput
+// approaches the data-parallel batch rate. A full queue rejects instead of
+// blocking (backpressure: the handler turns errQueueFull into 503 +
+// Retry-After).
+type batcher struct {
+	srv      *Server
+	maxBatch int
+	maxWait  time.Duration
+	queue    chan *batchReq
+
+	// mu guards closed. submit holds it (shared) across the enqueue attempt
+	// and close holds it (exclusive) before signalling stop, so every
+	// request enqueued before shutdown is visible to the drain loop and
+	// none can slip in after it.
+	mu     sync.RWMutex
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+
+	batches  atomic.Uint64
+	requests atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// batchReq is one queued request; done is closed once preds/err are set.
+type batchReq struct {
+	p     *plan.Plan
+	preds []float64
+	err   error
+	done  chan struct{}
+}
+
+func newBatcher(srv *Server, maxBatch int, maxWait time.Duration, depth int) *batcher {
+	b := &batcher{
+		srv:      srv,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		queue:    make(chan *batchReq, depth),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a plan and blocks until its batch has run. It never
+// blocks on a full queue — that is the backpressure signal.
+func (b *batcher) submit(p *plan.Plan) ([]float64, error) {
+	r := &batchReq{p: p, done: make(chan struct{})}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		b.rejected.Add(1)
+		return nil, errClosed
+	}
+	select {
+	case b.queue <- r:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	<-r.done
+	return r.preds, r.err
+}
+
+// close stops the collector after a graceful drain: requests already
+// enqueued are still batched and answered; subsequent submits fail with
+// errClosed. Idempotent.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	reqs := make([]*batchReq, 0, b.maxBatch)
+	for {
+		select {
+		case r := <-b.queue:
+			b.run(b.gather(append(reqs[:0], r), true))
+		case <-b.stop:
+			// Drain: no submit can enqueue after closed was set, so the
+			// queue only shrinks from here.
+			for {
+				select {
+				case r := <-b.queue:
+					b.run(b.gather(append(reqs[:0], r), false))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather fills the batch up to maxBatch. With wait set it lingers up to
+// maxWait after the first request; during drain it only takes what is
+// already queued.
+func (b *batcher) gather(reqs []*batchReq, wait bool) []*batchReq {
+	if !wait {
+		for len(reqs) < b.maxBatch {
+			select {
+			case r := <-b.queue:
+				reqs = append(reqs, r)
+			default:
+				return reqs
+			}
+		}
+		return reqs
+	}
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(reqs) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			reqs = append(reqs, r)
+		case <-timer.C:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// run executes one model batch and completes every request in it. The
+// model is resolved at execution time, so a batch that straddles SetModel
+// is served consistently by one model (and the caches' generation guard
+// keeps any stale result out of them).
+func (b *batcher) run(reqs []*batchReq) {
+	defer func() {
+		// A panicking forward pass must not strand waiters: fail the whole
+		// batch instead of hanging every coalesced caller forever.
+		if p := recover(); p != nil {
+			err := fmt.Errorf("serve: batch inference panicked: %v", p)
+			for _, r := range reqs {
+				if r.preds == nil && r.err == nil {
+					r.err = err
+					close(r.done)
+				}
+			}
+		}
+	}()
+	plans := make([]*plan.Plan, len(reqs))
+	for i, r := range reqs {
+		plans[i] = r.p
+	}
+	outs := b.srv.Model().PredictSubPlansBatch(plans, b.srv.Workers)
+	b.batches.Add(1)
+	b.requests.Add(uint64(len(reqs)))
+	for i, r := range reqs {
+		r.preds = outs[i]
+		close(r.done)
+	}
+}
+
+func (b *batcher) stats() QueueStats {
+	return QueueStats{
+		Depth:    len(b.queue),
+		Capacity: cap(b.queue),
+		MaxBatch: b.maxBatch,
+		Batches:  b.batches.Load(),
+		Requests: b.requests.Load(),
+		Rejected: b.rejected.Load(),
+	}
+}

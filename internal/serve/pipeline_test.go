@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// pipelineConfig enables every stage at test-friendly sizes.
+func pipelineConfig() Config {
+	return Config{
+		CacheSize:  1024,
+		MaxBatch:   8,
+		MaxWait:    200 * time.Microsecond,
+		QueueDepth: 256,
+	}
+}
+
+// trainedModel is trainedServer's model half, for tests that need several
+// servers around one model.
+func trainedModel(t *testing.T) (*core.Model, []dataset.Sample) {
+	t.Helper()
+	samples, err := dataset.ComplexWorkload(schema.BenchmarkDB("airline"), 80, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DK, cfg.DV = 32, 32
+	cfg.Hidden = []int{32, 16, 1}
+	cfg.LoRARanks = []int{8, 4, 2}
+	cfg.Epochs = 8
+	return core.Train(dataset.Plans(samples), cfg), samples
+}
+
+func planBody(t *testing.T, p *plan.Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postPredict(t *testing.T, h http.Handler, body []byte) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// TestPipelineBitwiseEqualUnderConcurrency is the determinism contract:
+// with caching, coalescing, and micro-batching all enabled, 64 concurrent
+// clients posting a mix of repeated and distinct plans must receive
+// byte-for-byte the responses an uncached, unbatched server produces.
+func TestPipelineBitwiseEqualUnderConcurrency(t *testing.T) {
+	m, samples := trainedModel(t)
+	plain := New(m)
+	s := NewWithConfig(m, pipelineConfig())
+	defer s.Close()
+	h := s.Handler()
+
+	const nPlans = 24
+	bodies := make([][]byte, nPlans)
+	want := make([][]byte, nPlans)
+	for i := 0; i < nPlans; i++ {
+		bodies[i] = planBody(t, samples[i].Plan)
+		code, resp := postPredict(t, plain.Handler(), bodies[i])
+		if code != http.StatusOK {
+			t.Fatalf("plain server status %d", code)
+		}
+		want[i] = resp
+	}
+
+	const clients, reqsPerClient = 64, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < reqsPerClient; r++ {
+				// 2/3 of traffic hammers a hot plan, the rest walks the set —
+				// exercising hits, coalesced misses, and batching at once.
+				i := (c + r) % nPlans
+				if r%3 != 0 {
+					i = c % 4
+				}
+				code, resp := postPredict(t, h, bodies[i])
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("client %d req %d: status %d", c, r, code)
+					return
+				}
+				if !bytes.Equal(resp, want[i]) {
+					errs <- fmt.Errorf("client %d req %d: cached response diverged from uncached baseline", c, r)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.preds.Stats()
+	if st.Hits == 0 && s.bodies.Stats().Hits == 0 {
+		t.Fatal("concurrent repeated workload produced zero cache hits")
+	}
+}
+
+// TestCoalescingSingleCompute checks the singleflight layer end to end:
+// concurrent identical requests must resolve to one model computation.
+func TestCoalescingSingleCompute(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := NewWithConfig(m, Config{CacheSize: 64})
+	defer s.Close()
+	h := s.Handler()
+	body := planBody(t, samples[0].Plan)
+
+	const clients = 32
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if code, _ := postPredict(t, h, body); code != http.StatusOK {
+				t.Errorf("status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Identical wire bytes coalesce in the body cache; the plan cache saw at
+	// most the one flight leader. Between the two layers every request but
+	// one must have been answered without its own forward pass.
+	bs, ps := s.bodies.Stats(), s.preds.Stats()
+	if bs.Misses != 1 {
+		t.Fatalf("body cache misses = %d, want 1 (singleflight)", bs.Misses)
+	}
+	if bs.Hits+bs.Coalesced != clients-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", bs.Hits+bs.Coalesced, clients-1)
+	}
+	if ps.Misses > 1 {
+		t.Fatalf("plan cache misses = %d, want <= 1", ps.Misses)
+	}
+}
+
+// TestMicroBatcherAmortizes drives concurrent distinct plans through a
+// cache-less batching server: every response must match the plain server,
+// and the batcher must have combined requests into fewer model calls.
+func TestMicroBatcherAmortizes(t *testing.T) {
+	m, samples := trainedModel(t)
+	plain := New(m)
+	s := NewWithConfig(m, Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond, QueueDepth: 256})
+	defer s.Close()
+	h := s.Handler()
+
+	const n = 48
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := planBody(t, samples[i%len(samples)].Plan)
+			code, resp := postPredict(t, h, body)
+			if code != http.StatusOK {
+				t.Errorf("req %d: status %d", i, code)
+				return
+			}
+			_, want := postPredict(t, plain.Handler(), body)
+			if !bytes.Equal(resp, want) {
+				t.Errorf("req %d: batched response diverged from direct inference", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	qs := s.bat.stats()
+	if qs.Requests != n {
+		t.Fatalf("batcher served %d requests, want %d", qs.Requests, n)
+	}
+	if qs.Batches == 0 || qs.Batches > qs.Requests {
+		t.Fatalf("implausible batch count %d for %d requests", qs.Batches, qs.Requests)
+	}
+	if qs.Depth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", qs.Depth)
+	}
+}
+
+// TestQueueFullBackpressure exercises the 503 path without relying on
+// timing: the batcher's collector is not started, so the queue genuinely
+// fills, and the overflow submit must be rejected immediately.
+func TestQueueFullBackpressure(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := New(m)
+	b := &batcher{
+		srv:      s,
+		maxBatch: 4,
+		maxWait:  time.Millisecond,
+		queue:    make(chan *batchReq, 2),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.bat = b
+
+	p := samples[0].Plan
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.submit(p)
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return len(b.queue) == 2 })
+
+	if _, err := b.submit(p); err != errQueueFull {
+		t.Fatalf("overflow submit: err = %v, want errQueueFull", err)
+	}
+	if got := b.stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	// Start the collector; the queued submits must complete, and a
+	// post-close submit must fail closed, not hang.
+	go b.loop()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued submit failed: %v", err)
+		}
+	}
+	b.close()
+	if _, err := b.submit(p); err != errClosed {
+		t.Fatalf("post-close submit: err = %v, want errClosed", err)
+	}
+}
+
+// TestQueueFullHTTP503 checks the HTTP mapping: a rejected request surfaces
+// as 503 with a Retry-After header (here via shutdown, the deterministic
+// rejection trigger).
+func TestQueueFullHTTP503(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := NewWithConfig(m, Config{MaxBatch: 4, QueueDepth: 4})
+	h := s.Handler()
+	body := planBody(t, samples[0].Plan)
+	if code, _ := postPredict(t, h, body); code != http.StatusOK {
+		t.Fatalf("pre-close status %d", code)
+	}
+	s.Close()
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+}
+
+// TestSetModelInvalidatesCaches checks cache coherence across a hot swap:
+// the swap must empty both caches and later responses must come from the
+// new model, even for a plan that was cached under the old one — including
+// swaps racing in-flight traffic.
+func TestSetModelInvalidatesCaches(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := NewWithConfig(m, pipelineConfig())
+	defer s.Close()
+	h := s.Handler()
+	body := planBody(t, samples[0].Plan)
+
+	code, oldResp := postPredict(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if code, again := postPredict(t, h, body); code != http.StatusOK || !bytes.Equal(again, oldResp) {
+		t.Fatal("cached response unstable before the swap")
+	}
+
+	// Flush mid-flight: SetModel (to the same weights — fine-tuning a live
+	// model in place would race inference) while traffic is in the air. The
+	// cache generation guard must keep every response valid.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				if code, _ := postPredict(t, h, planBody(t, samples[(c+r)%10].Plan)); code != http.StatusOK {
+					t.Errorf("in-flight request failed with %d", code)
+				}
+			}
+		}(c)
+	}
+	s.SetModel(m)
+	wg.Wait()
+
+	// Now mutate the weights (fine-tune) with traffic quiesced and swap:
+	// the stale cache entries from before must not survive.
+	m.FineTuneLoRA(dataset.Plans(samples[:40]), 2e-3, 2)
+	s.SetModel(m)
+
+	if n := s.preds.Len() + s.bodies.Len(); n != 0 {
+		t.Fatalf("caches hold %d entries right after the swap, want 0", n)
+	}
+	want := New(m)
+	_, fresh := postPredict(t, want.Handler(), body)
+	code, got := postPredict(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("post-swap status %d", code)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatal("post-swap response does not match the new model")
+	}
+	if bytes.Equal(got, oldResp) {
+		t.Fatal("stale pre-swap prediction served after SetModel")
+	}
+}
+
+// TestBodyCaps covers the 413 paths on both endpoints.
+func TestBodyCaps(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := New(m)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// /predict: pad a valid document past MaxPredictBody via the sql field.
+	pad := strings.Repeat("x", int(MaxPredictBody)+1024)
+	big := []byte(`{"sql":"` + pad + `","root":{"type":0,"est_rows":1,"est_cost":1}}`)
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/predict oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// /predict/batch: shrink the cap rather than allocating 64MB in a test.
+	defer func(old int64) { MaxBatchBody = old }(MaxBatchBody)
+	MaxBatchBody = 4096
+	var batch bytes.Buffer
+	batch.WriteString("[")
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			batch.WriteString(",")
+		}
+		batch.Write(planBody(t, samples[i%8].Plan))
+	}
+	batch.WriteString("]")
+	if int64(batch.Len()) <= MaxBatchBody {
+		t.Fatal("test batch not oversized")
+	}
+	resp2, err := http.Post(srv.URL+"/predict/batch", "application/json", &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/predict/batch oversized body: status %d, want 413", resp2.StatusCode)
+	}
+
+	// A normal-sized request still succeeds with the caps in place.
+	resp3, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(planBody(t, samples[0].Plan)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("normal body after caps: status %d", resp3.StatusCode)
+	}
+}
+
+// TestBatchEndpointDedupes checks the /predict/batch cache integration: a
+// batch of repeated plans runs few forward passes and matches the plain
+// server bit for bit.
+func TestBatchEndpointDedupes(t *testing.T) {
+	m, samples := trainedModel(t)
+	plain := New(m)
+	s := NewWithConfig(m, Config{CacheSize: 256})
+	defer s.Close()
+
+	const n = 24
+	var body bytes.Buffer
+	body.WriteString("[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body.WriteString(",")
+		}
+		body.Write(planBody(t, samples[i%3].Plan)) // only 3 distinct plans
+	}
+	body.WriteString("]")
+	post := func(h http.Handler) (int, []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(body.Bytes()))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}
+	code, got := post(s.Handler())
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if _, want := post(plain.Handler()); !bytes.Equal(got, want) {
+		t.Fatal("deduplicated batch response diverged from plain batch")
+	}
+	// Intra-batch dedupe: only the 3 distinct fingerprints were computed and
+	// inserted (every lookup missed, but duplicates shared one forward pass).
+	st := s.preds.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("plan cache entries = %d, want 3 (intra-batch dedupe)", st.Entries)
+	}
+	// A second identical batch is served entirely from cache: hits for every
+	// entry, no new misses.
+	post(s.Handler())
+	st2 := s.preds.Stats()
+	if st2.Misses != st.Misses || st2.Hits != st.Hits+n {
+		t.Fatalf("repeat batch: stats %+v -> %+v, want %d new hits and no new misses", st, st2, n)
+	}
+}
+
+// TestHealthReportsPipelineStats checks that /healthz surfaces cache and
+// queue counters when the pipeline is on, and omits them when off.
+func TestHealthReportsPipelineStats(t *testing.T) {
+	m, samples := trainedModel(t)
+	s := NewWithConfig(m, pipelineConfig())
+	defer s.Close()
+	h := s.Handler()
+	postPredict(t, h, planBody(t, samples[0].Plan))
+	postPredict(t, h, planBody(t, samples[0].Plan))
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var health Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.PlanCache == nil || health.BodyCache == nil || health.Queue == nil {
+		t.Fatalf("pipeline stats missing from health: %+v", health)
+	}
+	if health.BodyCache.Hits == 0 {
+		t.Fatal("repeated request did not register a body-cache hit")
+	}
+	if health.Queue.Capacity != 256 || health.Queue.MaxBatch != 8 {
+		t.Fatalf("queue stats %+v do not reflect the config", *health.Queue)
+	}
+
+	// The pipeline-off server must omit the optional sections.
+	plain := New(m)
+	rec2 := httptest.NewRecorder()
+	plain.Handler().ServeHTTP(rec2, req)
+	if bytes.Contains(rec2.Body.Bytes(), []byte("plan_cache")) ||
+		bytes.Contains(rec2.Body.Bytes(), []byte("queue")) {
+		t.Fatal("pipeline-off health must omit cache/queue sections")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -8,40 +8,143 @@
 //	POST /predict                body: plan JSON (plan.WriteJSON format)
 //	POST /predict?format=pg      body: PostgreSQL EXPLAIN (FORMAT JSON) output
 //	POST /predict/batch          body: JSON array of plans (either format)
-//	GET  /healthz                liveness + model metadata
+//	GET  /healthz                liveness + model metadata + cache/queue stats
+//
+// The serving pipeline (all stages optional, enabled via Config) is the
+// standard inference-server shape — coalesce, then batch, then fused
+// kernels:
+//
+//	request body ── body cache ── plan fingerprint cache ── micro-batcher ── model
+//	                (exact wire     (canonical 128-bit        (bounded queue,
+//	                 bytes hit:      hash: hit skips the       drains ≤MaxBatch
+//	                 skips JSON      forward pass; misses      or MaxWait, fans
+//	                 entirely)       coalesce in flight)       through PredictSubPlansBatch)
+//
+// Cost-estimation traffic is highly repetitive — an optimizer re-costs the
+// same sub-plans across candidate joins — so most requests resolve in the
+// first two stages; the batcher amortizes what remains across one
+// data-parallel forward pass. Cached predictions are bitwise-identical to
+// uncached ones: equal fingerprints imply equal model inputs.
 package serve
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sync"
+	"time"
 
 	"dace/internal/core"
 	"dace/internal/nn"
 	"dace/internal/pgexplain"
 	"dace/internal/plan"
+	"dace/internal/servecache"
 )
 
+// Request-body ceilings: a malformed or hostile client must not make the
+// server buffer an unbounded JSON document. Overflow returns 413. Vars, not
+// consts, so deployments (and tests) can tighten them before serving starts.
+var (
+	// MaxPredictBody caps one plan document (a deep plan is a few KB).
+	MaxPredictBody int64 = 4 << 20
+	// MaxBatchBody caps a /predict/batch array.
+	MaxBatchBody int64 = 64 << 20
+)
+
+// maxCachedBody bounds entries admitted to the body cache so a burst of
+// huge one-off documents cannot monopolize its memory; larger bodies still
+// use the fingerprint cache.
+const maxCachedBody = 256 << 10
+
+// Config tunes the serving pipeline. The zero value disables every stage:
+// each request runs its own forward pass, exactly the pre-cache behaviour.
+type Config struct {
+	// CacheSize is the per-cache entry capacity of the prediction caches
+	// (fingerprint → sub-plan predictions, and body bytes → response
+	// bytes); <= 0 disables both.
+	CacheSize int
+	// CacheTTL expires cache entries this long after insertion; <= 0 means
+	// entries live until evicted or flushed by SetModel.
+	CacheTTL time.Duration
+	// MaxBatch is the largest plan batch the micro-batcher hands the model;
+	// <= 1 disables micro-batching (each miss runs its own forward pass).
+	MaxBatch int
+	// MaxWait bounds how long the first queued request waits for its batch
+	// to fill (0 = 200µs). Latency floor under light load, amortization
+	// ceiling under heavy load.
+	MaxWait time.Duration
+	// QueueDepth bounds the request queue feeding the batcher (0 = 8×
+	// MaxBatch). A full queue fails fast: 503 with Retry-After.
+	QueueDepth int
+}
+
 // Server wraps a model with HTTP handlers. The model can be swapped at
-// runtime (SetModel) for zero-downtime updates after fine-tuning.
+// runtime (SetModel) for zero-downtime updates after fine-tuning; the swap
+// flushes both caches so stale predictions are never served.
 type Server struct {
 	mu    sync.RWMutex
 	model *core.Model
 
-	// Workers sizes the inference pool used by /predict/batch; <= 0 means
+	// Workers sizes the inference pool used for batch fan-out; <= 0 means
 	// one worker per CPU. Set before serving starts.
 	Workers int
+
+	cfg    Config
+	preds  *servecache.Cache[[]float64] // plan fingerprint → DFS predictions
+	bodies *servecache.Cache[[]byte]    // request bytes → response bytes
+	bat    *batcher
 }
 
-// New builds a server around a trained model.
-func New(m *core.Model) *Server { return &Server{model: m} }
+// New builds a server with the pipeline disabled — every request runs its
+// own forward pass. Use NewWithConfig to enable caching and batching.
+func New(m *core.Model) *Server { return NewWithConfig(m, Config{}) }
 
-// SetModel atomically replaces the served model.
+// NewWithConfig builds a server with the given pipeline configuration and
+// starts the micro-batcher if enabled. Call Close to drain it on shutdown.
+func NewWithConfig(m *core.Model, cfg Config) *Server {
+	s := &Server{model: m, cfg: cfg}
+	if cfg.CacheSize > 0 {
+		s.preds = servecache.New[[]float64](cfg.CacheSize, cfg.CacheTTL)
+		s.bodies = servecache.New[[]byte](cfg.CacheSize, cfg.CacheTTL)
+	}
+	if cfg.MaxBatch > 1 {
+		wait := cfg.MaxWait
+		if wait <= 0 {
+			wait = 200 * time.Microsecond
+		}
+		depth := cfg.QueueDepth
+		if depth <= 0 {
+			depth = 8 * cfg.MaxBatch
+		}
+		s.bat = newBatcher(s, cfg.MaxBatch, wait, depth)
+	}
+	return s
+}
+
+// Close drains the micro-batcher: queued requests complete, later ones are
+// rejected with 503. Safe to call on a batcher-less server and idempotent.
+func (s *Server) Close() {
+	if s.bat != nil {
+		s.bat.close()
+	}
+}
+
+// SetModel atomically replaces the served model and flushes the prediction
+// caches — predictions made by the old model must never be served for the
+// new one. In-flight computes complete against whichever model they
+// resolved, but the caches' generation guard keeps their results from being
+// re-inserted across the flush.
 func (s *Server) SetModel(m *core.Model) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.model = m
+	s.mu.Unlock()
+	if s.preds != nil {
+		s.preds.Flush()
+	}
+	if s.bodies != nil {
+		s.bodies.Flush()
+	}
 }
 
 // Model returns the currently served model.
@@ -76,6 +179,103 @@ type SubPlan struct {
 	PredictedMS float64 `json:"predicted_ms"`
 }
 
+// Sentinel errors the pipeline maps to HTTP statuses in writeError.
+var (
+	errQueueFull = errors.New("serve: request queue full")
+	errClosed    = errors.New("serve: server shutting down")
+)
+
+// decodePlan parses one request document in the given format and validates
+// that it has a root.
+func decodePlan(body *bytes.Reader, format, database string) (*plan.Plan, error) {
+	var p *plan.Plan
+	var err error
+	if format == "pg" {
+		p, err = pgexplain.Parse(body, database)
+	} else {
+		p, err = plan.ReadJSON(body)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.Root == nil {
+		return nil, errors.New("plan has no root")
+	}
+	return p, nil
+}
+
+// predsFor resolves a plan's DFS predictions through the pipeline:
+// fingerprint cache first (coalescing concurrent misses into one compute),
+// then the micro-batcher or a direct forward pass. The returned slice may
+// be shared with other requests — callers must treat it as read-only.
+func (s *Server) predsFor(p *plan.Plan) ([]float64, error) {
+	if s.preds != nil {
+		if fp := p.Fingerprint(); !fp.IsZero() {
+			return s.preds.GetOrCompute(servecache.Key(fp), func() ([]float64, error) {
+				return s.infer(p)
+			})
+		}
+	}
+	return s.infer(p)
+}
+
+// infer runs one uncached forward pass, through the batcher when enabled.
+func (s *Server) infer(p *plan.Plan) ([]float64, error) {
+	if s.bat != nil {
+		return s.bat.submit(p)
+	}
+	return s.Model().PredictSubPlans(p), nil
+}
+
+// docScratch holds the reusable per-request response-assembly buffers.
+type docScratch struct {
+	nodes   []*plan.Node
+	heights []int
+	preds   []float64
+}
+
+var docPool = sync.Pool{New: func() any { return new(docScratch) }}
+
+// buildDoc assembles the response document. SubPlans is always a non-nil
+// slice so the JSON field encodes as [] rather than null.
+func buildDoc(nodes []*plan.Node, heights []int, preds []float64) Prediction {
+	resp := Prediction{SubPlans: make([]SubPlan, 0, len(nodes))}
+	if len(nodes) > 0 {
+		resp.RootMS = preds[0]
+	}
+	for i, n := range nodes {
+		resp.SubPlans = append(resp.SubPlans, SubPlan{
+			Index: i, Operator: n.Type.String(), Height: heights[i],
+			EstRows: n.EstRows, EstCost: n.EstCost, PredictedMS: preds[i],
+		})
+	}
+	return resp
+}
+
+// predictionDoc assembles the response document from a plan and its
+// (possibly cache-shared) predictions, reusing pooled traversal buffers.
+func predictionDoc(p *plan.Plan, preds []float64) Prediction {
+	ds := docPool.Get().(*docScratch)
+	ds.nodes = p.AppendDFS(ds.nodes[:0])
+	ds.heights = p.AppendHeights(ds.heights[:0])
+	resp := buildDoc(ds.nodes, ds.heights, preds)
+	docPool.Put(ds)
+	return resp
+}
+
+// predictionOf builds the response document for one plan with a single
+// direct forward pass into a pooled buffer (the allocation-free
+// AppendPredictSubPlans path).
+func predictionOf(m *core.Model, p *plan.Plan) Prediction {
+	ds := docPool.Get().(*docScratch)
+	ds.preds = m.AppendPredictSubPlans(ds.preds[:0], p)
+	ds.nodes = p.AppendDFS(ds.nodes[:0])
+	ds.heights = p.AppendHeights(ds.heights[:0])
+	resp := buildDoc(ds.nodes, ds.heights, ds.preds)
+	docPool.Put(ds)
+	return resp
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -86,48 +286,65 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
 		return
 	}
-	var p *plan.Plan
+	database := r.URL.Query().Get("database")
+	r.Body = http.MaxBytesReader(w, r.Body, MaxPredictBody)
+
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		writeError(w, err)
+		return
+	}
+	body := buf.Bytes()
+
+	// render produces the response bytes for a body-cache miss; its output
+	// may be cached, so it encodes into a fresh buffer, not a pooled one.
+	render := func() ([]byte, error) {
+		p, err := decodePlan(bytes.NewReader(body), format, database)
+		if err != nil {
+			return nil, err
+		}
+		var doc Prediction
+		if s.preds == nil && s.bat == nil {
+			doc = predictionOf(s.Model(), p)
+		} else {
+			preds, err := s.predsFor(p)
+			if err != nil {
+				return nil, err
+			}
+			doc = predictionDoc(p, preds)
+		}
+		var out bytes.Buffer
+		if err := json.NewEncoder(&out).Encode(doc); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	}
+
+	var resp []byte
 	var err error
-	if format == "pg" {
-		p, err = pgexplain.Parse(r.Body, r.URL.Query().Get("database"))
+	if s.bodies != nil && len(body) <= maxCachedBody {
+		// Exact wire-bytes hit: skip JSON decode, fingerprinting, and encode
+		// entirely. Identical in-flight bodies coalesce here too.
+		key := servecache.KeyOf(body, []byte(format), []byte(database))
+		resp, err = s.bodies.GetOrCompute(key, render)
 	} else {
-		p, err = plan.ReadJSON(r.Body)
+		resp, err = render()
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, err)
 		return
 	}
-	if p.Root == nil {
-		http.Error(w, "plan has no root", http.StatusBadRequest)
-		return
-	}
-	m := s.Model()
-	writeJSON(w, predictionOf(m, p))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
 }
 
-// predictionOf builds the response document for one plan. SubPlans is
-// always a non-nil slice so the JSON field encodes as [] rather than null.
-func predictionOf(m *core.Model, p *plan.Plan) Prediction {
-	nodes := p.DFS()
-	resp := Prediction{SubPlans: make([]SubPlan, 0, len(nodes))}
-	if len(nodes) == 0 {
-		return resp
-	}
-	preds := m.PredictSubPlans(p)
-	heights := p.Heights()
-	resp.RootMS = preds[0]
-	for i, n := range nodes {
-		resp.SubPlans = append(resp.SubPlans, SubPlan{
-			Index: i, Operator: n.Type.String(), Height: heights[i],
-			EstRows: n.EstRows, EstCost: n.EstCost, PredictedMS: preds[i],
-		})
-	}
-	return resp
-}
-
-// handlePredictBatch predicts a JSON array of plans in one request,
-// fanning inference out across the server's worker pool. The response is a
-// JSON array of Prediction documents in input order.
+// handlePredictBatch predicts a JSON array of plans in one request. The
+// batch is deduplicated against the fingerprint cache — repeated sub-plans
+// across entries cost one forward pass — and the misses fan out across the
+// server's worker pool in input order. The response is a JSON array of
+// Prediction documents in input order.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -138,44 +355,92 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
 	var raw []json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, err)
 		return
 	}
 	plans := make([]*plan.Plan, len(raw))
 	for i, msg := range raw {
-		var p *plan.Plan
-		var err error
-		if format == "pg" {
-			p, err = pgexplain.Parse(bytes.NewReader(msg), r.URL.Query().Get("database"))
-		} else {
-			p, err = plan.ReadJSON(bytes.NewReader(msg))
-		}
+		p, err := decodePlan(bytes.NewReader(msg), format, r.URL.Query().Get("database"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if p.Root == nil {
-			http.Error(w, "plan has no root", http.StatusBadRequest)
+			writeError(w, err)
 			return
 		}
 		plans[i] = p
 	}
-	m := s.Model()
+	preds := s.batchPreds(plans)
 	resp := make([]Prediction, len(plans))
-	nn.ParallelFor(len(plans), s.Workers, func(i int) {
-		resp[i] = predictionOf(m, plans[i])
-	})
+	for i := range plans {
+		resp[i] = predictionDoc(plans[i], preds[i])
+	}
 	writeJSON(w, resp)
 }
 
-// Health is the /healthz response.
+// batchPreds resolves predictions for a whole batch: cache hits and
+// intra-batch duplicates are served from one compute, and the remaining
+// misses run as a single data-parallel batch (the request is already a
+// batch, so it bypasses the micro-batcher).
+func (s *Server) batchPreds(plans []*plan.Plan) [][]float64 {
+	m := s.Model()
+	if s.preds == nil {
+		return m.PredictSubPlansBatch(plans, s.Workers)
+	}
+	out := make([][]float64, len(plans))
+	keys := make([]servecache.Key, len(plans))
+	firstOf := make(map[servecache.Key]int, len(plans))
+	gen := s.preds.Generation()
+	var missIdx []int
+	for i, p := range plans {
+		keys[i] = servecache.Key(p.Fingerprint())
+		if v, ok := s.preds.Get(keys[i]); ok {
+			out[i] = v
+			continue
+		}
+		if _, dup := firstOf[keys[i]]; dup {
+			continue // filled from the first occurrence below
+		}
+		firstOf[keys[i]] = i
+		missIdx = append(missIdx, i)
+	}
+	missPlans := make([]*plan.Plan, len(missIdx))
+	for mi, i := range missIdx {
+		missPlans[mi] = plans[i]
+	}
+	got := m.PredictSubPlansBatch(missPlans, s.Workers)
+	for mi, i := range missIdx {
+		out[i] = got[mi]
+		s.preds.PutAt(keys[i], got[mi], gen)
+	}
+	for i := range out {
+		if out[i] == nil {
+			out[i] = out[firstOf[keys[i]]]
+		}
+	}
+	return out
+}
+
+// Health is the /healthz response. PlanCache/BodyCache/Queue are present
+// only when the corresponding pipeline stage is enabled.
 type Health struct {
-	Status      string  `json:"status"`
-	Parameters  int     `json:"parameters"`
-	SizeMB      float64 `json:"size_mb"`
-	LoRAEnabled bool    `json:"lora_enabled"`
+	Status      string            `json:"status"`
+	Parameters  int               `json:"parameters"`
+	SizeMB      float64           `json:"size_mb"`
+	LoRAEnabled bool              `json:"lora_enabled"`
+	PlanCache   *servecache.Stats `json:"plan_cache,omitempty"`
+	BodyCache   *servecache.Stats `json:"body_cache,omitempty"`
+	Queue       *QueueStats       `json:"queue,omitempty"`
+}
+
+// QueueStats snapshots the micro-batcher.
+type QueueStats struct {
+	Depth    int    `json:"depth"`    // requests queued right now
+	Capacity int    `json:"capacity"` // queue bound (QueueDepth)
+	MaxBatch int    `json:"max_batch"`
+	Batches  uint64 `json:"batches"`          // model batch calls executed
+	Requests uint64 `json:"batched_requests"` // requests served through them
+	Rejected uint64 `json:"rejected"`         // 503s from a full queue
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -184,15 +449,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.Model()
-	writeJSON(w, Health{
+	h := Health{
 		Status:      "ok",
 		Parameters:  nn.NumParams(m.Params()),
 		SizeMB:      nn.SizeMB(m.Params()),
 		LoRAEnabled: m.LoRAEnabled(),
-	})
+	}
+	if s.preds != nil {
+		pc, bc := s.preds.Stats(), s.bodies.Stats()
+		h.PlanCache, h.BodyCache = &pc, &bc
+	}
+	if s.bat != nil {
+		qs := s.bat.stats()
+		h.Queue = &qs
+	}
+	writeJSON(w, h)
 }
 
-// bufPool recycles response encode buffers across requests; buffers keep
+// bufPool recycles request/response buffers across requests; buffers keep
 // their grown capacity, so steady-state serving stops allocating them.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
@@ -209,4 +483,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
+}
+
+// writeError maps pipeline errors to HTTP statuses: overload and shutdown
+// are retryable 503s (with Retry-After, so well-behaved clients back off),
+// an oversized body is 413, and everything else is the client's fault.
+func writeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &tooBig):
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }

@@ -1,0 +1,348 @@
+// Package servecache is the serving layer's prediction cache: a sharded LRU
+// keyed by 128-bit fingerprints with per-entry TTL and singleflight request
+// coalescing. Cost-estimation traffic is highly repetitive — an optimizer
+// re-costs the same sub-plans across candidate joins — so the cache converts
+// the model's per-plan forward pass into a hash-and-lookup for the hot tail.
+//
+// Design points:
+//
+//   - Power-of-two shards, each with its own mutex, map, and intrusive LRU
+//     list. The shard index reads low fingerprint bits, which the hash has
+//     already avalanched, so shards load-balance without rehashing.
+//   - GetOrCompute coalesces concurrent misses on one key into a single
+//     compute call (singleflight): N concurrent requests for the same plan
+//     trigger one forward pass, and the waiters share its result.
+//   - Flush (the SetModel hook) bumps a generation counter before clearing,
+//     so a compute that straddles the flush cannot re-insert a stale value:
+//     its recorded generation no longer matches at insert time.
+//   - Counters (hits/misses/evictions/expirations/coalesced waits) are
+//     atomics, readable at any time via Stats.
+package servecache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key is a 128-bit cache key — layout-compatible with plan.Fingerprint
+// (convert with servecache.Key(fp)), but also usable for raw byte-stream
+// hashes via KeyOf. The package deliberately does not import plan: it caches
+// anything keyed by a good 128-bit hash.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// numShards is the shard count (power of two). 16 shards keep per-shard
+// mutex hold times short at high concurrency while staying cheap for tiny
+// caches.
+const numShards = 16
+
+// entry is one cached value, linked into its shard's LRU list (head = most
+// recently used).
+type entry[V any] struct {
+	key        Key
+	val        V
+	expires    int64 // unix nanoseconds; 0 = never
+	prev, next *entry[V]
+}
+
+// flight is one in-progress compute that later arrivals wait on.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	items    map[Key]*entry[V]
+	inflight map[Key]*flight[V]
+	head     *entry[V] // most recently used
+	tail     *entry[V] // least recently used
+	capacity int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	Coalesced uint64 `json:"coalesced"`
+	Inflight  uint64 `json:"inflight"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a sharded LRU with TTL and singleflight coalescing. The zero
+// value is not usable; construct with New.
+type Cache[V any] struct {
+	shards [numShards]shard[V]
+	ttl    time.Duration
+	gen    atomic.Uint64
+
+	hits, misses, evictions, expired, coalesced, inflight atomic.Uint64
+
+	// now is stubbed by tests to exercise TTL expiry deterministically.
+	now func() time.Time
+}
+
+// New builds a cache holding up to capacity entries (rounded up so every
+// shard holds at least one) that expire ttl after insertion; ttl <= 0 means
+// entries never expire.
+func New[V any](capacity int, ttl time.Duration) *Cache[V] {
+	perShard := (capacity + numShards - 1) / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{ttl: ttl, now: time.Now}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*entry[V])
+		c.shards[i].inflight = make(map[Key]*flight[V])
+		c.shards[i].capacity = perShard
+	}
+	return c
+}
+
+func (c *Cache[V]) shardOf(k Key) *shard[V] { return &c.shards[k.Lo&(numShards-1)] }
+
+// Get returns the cached value for k, refreshing its LRU position. An
+// expired entry is removed and reported as a miss.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if ok && c.expiredEntry(e) {
+		s.remove(e)
+		c.expired.Add(1)
+		ok = false
+	}
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts (or refreshes) k → v, evicting the shard's least recently
+// used entry when over capacity.
+func (c *Cache[V]) Put(k Key, v V) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	c.insertLocked(s, k, v)
+	s.mu.Unlock()
+}
+
+// GetOrCompute returns the cached value for k, or runs fn exactly once per
+// concurrent group of callers (singleflight) and caches its result. The
+// compute runs without any shard lock held. A fn error is returned to every
+// coalesced caller and nothing is cached. If Flush runs while fn is in
+// flight, the callers still receive fn's value but it is not inserted — the
+// flush invalidated the state it was computed from.
+func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok && !c.expiredEntry(e) {
+		s.moveToFront(e)
+		v := e.val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = fl
+	gen := c.gen.Load()
+	c.inflight.Add(1)
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	fl.val, fl.err = fn()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if fl.err == nil && c.gen.Load() == gen {
+		c.insertLocked(s, k, fl.val)
+	}
+	s.mu.Unlock()
+	c.inflight.Add(^uint64(0))
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// Generation returns the current flush generation. Snapshot it before a
+// batch of computations and insert the results with PutAt: a Flush between
+// the snapshot and the insert silently discards them, the same staleness
+// rule GetOrCompute applies to in-flight computes.
+func (c *Cache[V]) Generation() uint64 { return c.gen.Load() }
+
+// PutAt inserts k → v only while the cache is still at generation gen; a
+// value computed before a Flush is dropped rather than resurrected.
+func (c *Cache[V]) PutAt(k Key, v V, gen uint64) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if c.gen.Load() == gen {
+		c.insertLocked(s, k, v)
+	}
+	s.mu.Unlock()
+}
+
+// Flush drops every cached entry (in-flight computes complete but do not
+// re-insert). The serving layer calls it from SetModel: predictions made by
+// the old model must never be served for the new one.
+func (c *Cache[V]) Flush() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.items)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the live entry count (expired-but-unswept entries included).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Coalesced: c.coalesced.Load(),
+		Inflight:  c.inflight.Load(),
+		Entries:   c.Len(),
+		Capacity:  numShards * c.shards[0].capacity,
+	}
+}
+
+func (c *Cache[V]) expiredEntry(e *entry[V]) bool {
+	return e.expires != 0 && c.now().UnixNano() >= e.expires
+}
+
+// insertLocked adds or refreshes k → v in s (s.mu held), evicting the LRU
+// tail when the shard is over capacity.
+func (c *Cache[V]) insertLocked(s *shard[V], k Key, v V) {
+	if e, ok := s.items[k]; ok {
+		e.val = v
+		e.expires = c.expiryAt()
+		s.moveToFront(e)
+		return
+	}
+	e := &entry[V]{key: k, val: v, expires: c.expiryAt()}
+	s.items[k] = e
+	s.pushFront(e)
+	for len(s.items) > s.capacity {
+		victim := s.tail
+		s.remove(victim)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache[V]) expiryAt() int64 {
+	if c.ttl <= 0 {
+		return 0
+	}
+	return c.now().Add(c.ttl).UnixNano()
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *shard[V]) remove(e *entry[V]) {
+	s.unlink(e)
+	delete(s.items, e.key)
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// KeyOf hashes a sequence of byte strings into a Key with the same two-lane
+// murmur-style construction the plan fingerprint uses. Part boundaries are
+// hashed (each part's length prefixes its bytes), so ("ab","c") and
+// ("a","bc") produce different keys. The serving layer uses it to memoize
+// whole request bodies: identical wire bytes → identical response.
+func KeyOf(parts ...[]byte) Key {
+	hi, lo := uint64(0x9ae16a3b2f90404f), uint64(0xc3a5c85c97cb3127)
+	mix := func(w uint64) {
+		hi = fmix64(hi ^ w)
+		lo = fmix64(lo + ((w>>32)|(w<<32))*0x9e3779b97f4a7c15)
+	}
+	for _, p := range parts {
+		mix(uint64(len(p)))
+		for len(p) >= 8 {
+			mix(uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+				uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56)
+			p = p[8:]
+		}
+		if len(p) > 0 {
+			var w uint64
+			for i := len(p) - 1; i >= 0; i-- {
+				w = w<<8 | uint64(p[i])
+			}
+			mix(w | uint64(len(p))<<56)
+		}
+	}
+	return Key{Hi: fmix64(hi ^ ((lo >> 32) | (lo << 32))), Lo: fmix64(lo ^ hi)}
+}
+
+// fmix64 is the murmur3 64-bit finalizer.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
