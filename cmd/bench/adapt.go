@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/plan"
+	"dace/internal/serve"
+)
+
+// benchAdapt measures the online-adaptation hot paths:
+//
+//	adapt/finetune              LoRA fine-tune throughput over a replay
+//	                            snapshot (plans/sec = plans × epochs / wall)
+//	adapt/swap                  SetModel latency on a live cached server —
+//	                            the serving-side cost of a promotion
+//	adapt/serve_during_finetune /predict latency while a fine-tune runs
+//	                            concurrently, the P99 a promotion costs
+//	                            in-flight traffic
+func benchAdapt(rep *Report, m *core.Model, plans []*plan.Plan, quick bool, warmup, runs int) {
+	ftPlans := plans
+	epochs := 4
+	if quick {
+		epochs = 2
+		if len(ftPlans) > 64 {
+			ftPlans = ftPlans[:64]
+		}
+	}
+
+	// Fine-tune throughput: each op is one full clone + LoRA fine-tune, the
+	// unit of work RunOnce performs off the serving path.
+	rep.Results = append(rep.Results, measure("adapt/finetune", 1, len(ftPlans)*epochs, warmup, runs,
+		func(int) {
+			c := m.Clone()
+			c.EnableLoRA()
+			c.FineTuneLoRA(ftPlans, 2e-3, epochs)
+		}))
+	fmt.Fprintf(os.Stderr, "bench: adapt/finetune done\n")
+
+	// Promotion swap latency: SetModel flushes both caches; the op is the
+	// full promotion as serving sees it. The caches are re-warmed with one
+	// request between swaps so every swap pays the realistic flush cost.
+	candidate := m.Clone()
+	candidate.EnableLoRA()
+	candidate.FineTuneLoRA(ftPlans, 2e-3, 1)
+	s := serve.NewWithConfig(m, cachedConfig())
+	warmBody := mustBody(ftPlans[0])
+	pair := [2]*core.Model{m, candidate}
+	rep.Results = append(rep.Results, measure("adapt/swap", 256, 1, warmup, runs,
+		func(i int) {
+			postOnce(s, warmBody) // put something in the caches to flush
+			s.SetModel(pair[i%2])
+		}))
+	s.Close()
+	fmt.Fprintf(os.Stderr, "bench: adapt/swap done\n")
+
+	// Serving latency during an in-flight fine-tune: concurrent /predict
+	// clients race a background clone+fine-tune loop, the contention pattern
+	// of a promotion under load.
+	n, conc := 2000, 16
+	if quick {
+		n = 800
+	}
+	s = serve.NewWithConfig(m, cachedConfig())
+	srv := httptest.NewServer(s.Handler())
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc * 2,
+	}}
+	w := newWorkload(plans, 8)
+
+	stop := make(chan struct{})
+	var tunerDone sync.WaitGroup
+	tunerDone.Add(1)
+	go func() {
+		defer tunerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := s.Model().Clone()
+			c.EnableLoRA()
+			c.FineTuneLoRA(ftPlans, 2e-3, 1)
+		}
+	}()
+
+	run := func(bodies [][]byte, record []float64) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(bodies) {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						log.Fatalf("bench: adapt/serve_during_finetune: %v", err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						log.Fatalf("bench: adapt/serve_during_finetune: status %d", resp.StatusCode)
+					}
+					if record != nil {
+						record[i] = float64(time.Since(t0))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	run(w.bodies(n/4, 0.9, 7), nil) // warmup
+	lat := make([]float64, n)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	run(w.bodies(n, 0.9, 11), lat)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	close(stop)
+	tunerDone.Wait()
+
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	rep.Results = append(rep.Results, Result{
+		Name:        "adapt/serve_during_finetune/c=16/hit=90",
+		Runs:        1,
+		OpsPerRun:   n,
+		PlansPerSec: float64(n) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		P50Ns:       q(0.50),
+		P95Ns:       q(0.95),
+		P99Ns:       q(0.99),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		NumGC:       after.NumGC - before.NumGC,
+	})
+	fmt.Fprintf(os.Stderr, "bench: adapt/serve_during_finetune done (%.0f req/s)\n",
+		float64(n)/elapsed.Seconds())
+
+	srv.Close()
+	s.Close()
+	client.CloseIdleConnections()
+}

@@ -200,6 +200,10 @@ func main() {
 	// cached+batched pipeline and the uncached baseline server.
 	speedup := benchServe(&rep, m, test, *quick)
 
+	// Online-adaptation scenarios: fine-tune throughput, promotion swap
+	// latency, and serving latency during an in-flight fine-tune.
+	benchAdapt(&rep, m, test, *quick, *warmup, *runs)
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
@@ -232,12 +236,23 @@ func main() {
 	}
 }
 
+// uncheckedScenarios are measured and reported but exempt from the -check
+// gate: serving throughput while a fine-tune hogs the CPU is dominated by
+// scheduler contention and too noisy for a fixed threshold.
+var uncheckedScenarios = map[string]bool{
+	"adapt/serve_during_finetune/c=16/hit=90": true,
+}
+
 // checkRegressions compares throughput scenario-by-scenario against the
 // baseline (scenarios absent from it are skipped) and reports every drop
 // beyond maxRegress percent — the CI smoke gate.
 func checkRegressions(rep Report, baseline map[string]Result, maxRegress float64) []string {
 	var out []string
 	for _, r := range rep.Results {
+		if uncheckedScenarios[r.Name] {
+			fmt.Fprintf(os.Stderr, "bench: %s exempt from regression check (contention-bound)\n", r.Name)
+			continue
+		}
 		base, ok := baseline[r.Name]
 		if !ok || base.PlansPerSec == 0 {
 			continue

@@ -7,6 +7,20 @@
 //	curl -XPOST localhost:8080/predict --data-binary @plan.json
 //	curl -XPOST 'localhost:8080/predict?format=pg' --data-binary @explain.json
 //	curl localhost:8080/healthz
+//
+// Online adaptation (off unless -feedback-log or -model-dir is set):
+//
+//	daced -model dace.json -feedback-log feedback.log -model-dir models \
+//	      -adapt-interval 10m -adapt-min-samples 256 -adapt-gate 0.02
+//	curl -XPOST localhost:8080/feedback -d '{"plan": {...}, "actual_ms": 12.5}'
+//	curl localhost:8080/adapt/status
+//	curl -XPOST localhost:8080/adapt/trigger
+//
+// Feedback samples land in a bounded replay buffer (mirrored to the
+// -feedback-log for crash recovery) and a background controller fine-tunes
+// a LoRA clone off the serving path, promoting it only when it beats the
+// incumbent on a held-out split; promotions are persisted as versioned
+// artifacts under -model-dir, which a restart resumes from.
 package main
 
 import (
@@ -14,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-pprof listener only)
@@ -22,7 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"dace/internal/adapt"
 	"dace/internal/core"
+	"dace/internal/feedback"
 	"dace/internal/serve"
 )
 
@@ -37,6 +54,11 @@ func main() {
 	maxWait := flag.Duration("max-wait", 200*time.Microsecond, "max time a queued request waits for its batch to fill")
 	queueDepth := flag.Int("queue-depth", 4096, "bounded request queue feeding the batcher (0 = 8*max-batch); full queue answers 503")
 	pprofAddr := flag.String("pprof", "", "if set (e.g. localhost:6060), serve net/http/pprof on this address")
+	feedbackLog := flag.String("feedback-log", "", "append-only feedback log for crash-safe replay (empty disables durability)")
+	adaptInterval := flag.Duration("adapt-interval", 0, "timer between background adaptation attempts (0 = drift/manual triggers only)")
+	adaptMinSamples := flag.Int("adapt-min-samples", 256, "replay-buffer floor before a fine-tune may run")
+	adaptGate := flag.Float64("adapt-gate", 0.02, "fractional holdout q-error improvement (median AND p90) required to promote")
+	modelDir := flag.String("model-dir", "", "directory for versioned promoted-model artifacts (empty keeps promotions in memory only)")
 	flag.Parse()
 
 	m := core.NewModel(core.DefaultConfig())
@@ -51,6 +73,18 @@ func main() {
 		log.Fatalf("daced: %v", err)
 	}
 	f.Close()
+
+	// A model directory with promoted artifacts outranks the seed model:
+	// the daemon resumes from the last gated promotion.
+	servedVersion := 0
+	if *modelDir != "" {
+		if cur, v, err := adapt.LoadCurrent(*modelDir); err == nil {
+			log.Printf("daced: resuming from promoted model v%d in %s", v, *modelDir)
+			m, servedVersion = cur, v
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			log.Fatalf("daced: model dir: %v", err)
+		}
+	}
 
 	if *pprofAddr != "" {
 		// The profiling endpoints stay off the service mux: they bind a
@@ -70,11 +104,47 @@ func main() {
 	})
 	s.Workers = *workers
 
+	// Online adaptation: any adaptation-related flag switches the loop on.
+	var ctl *adapt.Controller
+	adaptOn := *feedbackLog != "" || *modelDir != "" || *adaptInterval > 0
+	if adaptOn {
+		store := feedback.NewStore(8192, 1)
+		var flog *feedback.Log
+		if *feedbackLog != "" {
+			flog, err = feedback.Open(*feedbackLog)
+			if err != nil {
+				log.Fatalf("daced: feedback log: %v", err)
+			}
+			defer flog.Close()
+			n, err := flog.Replay(func(smp feedback.Sample) error {
+				store.Add(smp)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("daced: feedback replay: %v", err)
+			}
+			if n > 0 {
+				log.Printf("daced: replayed %d feedback samples (%d resident)", n, store.Len())
+			}
+		}
+		ctl = adapt.New(s, store, flog, adapt.Config{
+			Interval:       *adaptInterval,
+			MinSamples:     *adaptMinSamples,
+			Gate:           *adaptGate,
+			DriftThreshold: 2.0,
+			ModelDir:       *modelDir,
+		})
+		ctl.SetVersion(servedVersion)
+		s.Feedback = ctl
+		s.Adapt = ctl
+		ctl.Start()
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("daced: serving %s on %s (cache=%d batch=%d wait=%s queue=%d)\n",
-		*modelPath, *addr, *cacheSize, *maxBatch, *maxWait, *queueDepth)
+	fmt.Printf("daced: serving %s on %s (cache=%d batch=%d wait=%s queue=%d adapt=%v)\n",
+		*modelPath, *addr, *cacheSize, *maxBatch, *maxWait, *queueDepth, adaptOn)
 
 	// Graceful shutdown: stop accepting, let in-flight requests finish,
 	// then drain the micro-batcher so every queued prediction is answered.
@@ -89,6 +159,11 @@ func main() {
 		}
 		cancel()
 		s.Close()
+		if ctl != nil {
+			// Wait out any in-flight fine-tune and flush the feedback log
+			// before the deferred Close tears the file down.
+			ctl.Stop()
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("daced: %v", err)

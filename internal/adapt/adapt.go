@@ -1,0 +1,480 @@
+// Package adapt closes DACE's online-adaptation loop: it watches the
+// q-error of served predictions against reported actuals, and when the
+// serving model has drifted (or a timer fires, or an operator asks), it
+// fine-tunes a LoRA clone on the replay buffer off the serving path and
+// promotes the candidate only if it beats the incumbent on a held-out
+// split. Promotions are persisted as versioned, checksummed artifacts so
+// the daemon can restart into its adapted state and roll back a regression.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/feedback"
+	"dace/internal/metrics"
+	"dace/internal/plan"
+)
+
+// Host is the serving surface the controller adapts: read the current
+// model, atomically swap in a better one. *serve.Server satisfies it.
+type Host interface {
+	Model() *core.Model
+	SetModel(*core.Model)
+}
+
+// Config tunes the controller. Zero values take the documented defaults.
+type Config struct {
+	// Interval between timer-driven adaptation attempts; 0 disables the
+	// timer (drift and manual triggers still work).
+	Interval time.Duration
+	// MinSamples is the replay-buffer floor below which RunOnce refuses to
+	// fine-tune (default 256).
+	MinSamples int
+	// Gate is the fractional improvement the candidate must show on BOTH
+	// the holdout median and P90 q-error to be promoted (default 0.02,
+	// i.e. 2% better). The comparison is strict, so an identical candidate
+	// never ousts the incumbent.
+	Gate float64
+	// DriftThreshold fires an adaptation attempt when the rolling median
+	// q-error of served predictions crosses it (default 2.0). Zero or
+	// negative disables drift detection.
+	DriftThreshold float64
+	// DriftWindow is the number of recent observations the rolling median
+	// is computed over (default 128).
+	DriftWindow int
+	// HoldoutFrac is the fraction of the snapshot held out for gating
+	// (default 0.2, at least one sample).
+	HoldoutFrac float64
+	// LR and Epochs drive FineTuneLoRA (defaults 2e-3, 12).
+	LR     float64
+	Epochs int
+	// ModelDir, when set, persists every promotion as a versioned artifact.
+	ModelDir string
+	// Seed drives the train/holdout shuffle (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 256
+	}
+	if c.Gate <= 0 {
+		c.Gate = 0.02
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 128
+	}
+	if c.HoldoutFrac <= 0 || c.HoldoutFrac >= 1 {
+		c.HoldoutFrac = 0.2
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-3
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Outcome reports one adaptation attempt.
+type Outcome struct {
+	Promoted bool    `json:"promoted"`
+	Version  int     `json:"version,omitempty"` // artifact version when persisted
+	Reason   string  `json:"reason"`
+	Samples  int     `json:"samples"`  // snapshot size used
+	Holdout  int     `json:"holdout"`  // held-out sample count
+	TrainMS  float64 `json:"train_ms"` // fine-tune wall time
+	// Holdout q-error of incumbent and candidate.
+	BeforeMedian float64 `json:"before_median"`
+	BeforeP90    float64 `json:"before_p90"`
+	AfterMedian  float64 `json:"after_median"`
+	AfterP90     float64 `json:"after_p90"`
+}
+
+// Status is the controller's introspection surface, served as JSON by
+// GET /adapt/status.
+type Status struct {
+	Running      bool           `json:"running"` // a fine-tune is in flight
+	Store        feedback.Stats `json:"store"`
+	DriftMedian  float64        `json:"drift_median"` // rolling served q-error median
+	DriftN       int            `json:"drift_n"`
+	Runs         int            `json:"runs"`
+	Promotions   int            `json:"promotions"`
+	Rejections   int            `json:"rejections"`
+	ModelVersion int            `json:"model_version"` // last promoted artifact, 0 = seed
+	Last         *Outcome       `json:"last,omitempty"`
+}
+
+// busyError marks contention: its Busy method lets the serving layer map
+// it to 409 Conflict without importing this package.
+type busyError struct{}
+
+func (busyError) Error() string { return "adapt: adaptation already in progress" }
+func (busyError) Busy() bool    { return true }
+
+// ErrBusy is returned by RunOnce when an adaptation attempt is already in
+// flight. It satisfies interface{ Busy() bool }.
+var ErrBusy error = busyError{}
+
+// Controller owns the adaptation loop. Observe is called on the serving
+// hot path and only touches the replay store and the drift ring; the
+// fine-tune itself runs on a clone, so serving reads the incumbent model
+// undisturbed until the atomic SetModel swap.
+type Controller struct {
+	host  Host
+	store *feedback.Store
+	log   *feedback.Log // optional durable log; may be nil
+	cfg   Config
+
+	runMu sync.Mutex // serializes adaptation attempts
+
+	mu      sync.Mutex // guards everything below
+	window  []float64  // drift ring of recent served q-errors
+	next    int
+	filled  bool
+	running bool
+	runs    int
+	promos  int
+	rejects int
+	version int
+	last    *Outcome
+
+	kick chan struct{} // drift/manual wakeups for the background loop
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a controller adapting host from store. log may be nil; when
+// set, Observe appends every accepted sample to it.
+func New(host Host, store *feedback.Store, log *feedback.Log, cfg Config) *Controller {
+	return &Controller{
+		host:  host,
+		store: store,
+		log:   log,
+		cfg:   cfg.withDefaults(),
+		kick:  make(chan struct{}, 1),
+	}
+}
+
+// SetVersion records the artifact version currently being served (used by
+// daced after LoadCurrent at startup).
+func (c *Controller) SetVersion(v int) {
+	c.mu.Lock()
+	c.version = v
+	c.mu.Unlock()
+}
+
+// Observe ingests one feedback sample: it lands in the replay store (and
+// the durable log when accepted), and its q-error advances the drift
+// window. When the rolling median crosses the threshold, the background
+// loop is kicked. Safe for concurrent use; never blocks on a fine-tune.
+func (c *Controller) Observe(p *plan.Plan, actualMS, predictedMS float64) {
+	accepted := c.store.Add(feedback.Sample{Plan: p, ActualMS: actualMS, PredictedMS: predictedMS})
+	if accepted && c.log != nil {
+		// Log failures must not fail serving; the sample is still resident
+		// in memory, only durability degrades.
+		_ = c.log.Append(feedback.Sample{Plan: p, ActualMS: actualMS, PredictedMS: predictedMS})
+	}
+	if predictedMS <= 0 || actualMS <= 0 {
+		return
+	}
+	q := metrics.QError(predictedMS, actualMS)
+
+	c.mu.Lock()
+	if len(c.window) < c.cfg.DriftWindow {
+		c.window = append(c.window, q)
+	} else {
+		c.window[c.next] = q
+		c.next = (c.next + 1) % c.cfg.DriftWindow
+		c.filled = true
+	}
+	drifted := c.cfg.DriftThreshold > 0 &&
+		(c.filled || len(c.window) >= c.cfg.DriftWindow/2) &&
+		medianOf(c.window) > c.cfg.DriftThreshold
+	c.mu.Unlock()
+
+	if drifted {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return metrics.Summarize(append([]float64(nil), xs...)).Median
+}
+
+// Start launches the background loop (timer + drift kicks). Stop drains it.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		var tick <-chan time.Time
+		if c.cfg.Interval > 0 {
+			t := time.NewTicker(c.cfg.Interval)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+			case <-c.kick:
+			}
+			if _, err := c.RunOnce(); err != nil && !errors.Is(err, ErrBusy) && !errors.Is(err, ErrTooFewSamples) {
+				// Skipped rounds are routine; real failures surface in Status.
+				c.recordError(err)
+			}
+		}
+	}()
+}
+
+// Stop shuts the background loop down, waiting for any in-flight
+// adaptation attempt to finish (the daemon calls this on SIGTERM).
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	// The loop may have exited between RunOnce attempts; make sure no
+	// straggler holds the run lock before declaring the drain complete.
+	c.runMu.Lock()
+	c.runMu.Unlock() //nolint:staticcheck // lock/unlock pair is an intentional barrier
+}
+
+func (c *Controller) recordError(err error) {
+	c.mu.Lock()
+	c.last = &Outcome{Reason: "error: " + err.Error()}
+	c.mu.Unlock()
+}
+
+// ErrTooFewSamples is returned by RunOnce when the replay buffer has not
+// reached Config.MinSamples.
+var ErrTooFewSamples = errors.New("adapt: not enough feedback samples")
+
+// TriggerNow runs one adaptation attempt synchronously, returning ErrBusy
+// if one is already in flight (POST /adapt/trigger maps that to 409).
+func (c *Controller) TriggerNow() (*Outcome, error) {
+	return c.RunOnce()
+}
+
+// Trigger satisfies serve.Adapter.
+func (c *Controller) Trigger() (any, error) {
+	out, err := c.RunOnce()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Status satisfies serve.Adapter.
+func (c *Controller) Status() any {
+	st := c.StatusNow()
+	return &st
+}
+
+// StatusNow snapshots the controller state.
+func (c *Controller) StatusNow() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Running:      c.running,
+		Store:        c.store.Stats(),
+		DriftMedian:  medianOf(c.window),
+		DriftN:       len(c.window),
+		Runs:         c.runs,
+		Promotions:   c.promos,
+		Rejections:   c.rejects,
+		ModelVersion: c.version,
+		Last:         c.last,
+	}
+}
+
+// RunOnce performs one full adaptation attempt: snapshot the replay
+// buffer, split train/holdout, fine-tune a LoRA clone of the serving
+// model on the train split, and promote it through the gate. It returns
+// ErrBusy when another attempt holds the run lock and ErrTooFewSamples
+// when the buffer is under Config.MinSamples.
+func (c *Controller) RunOnce() (*Outcome, error) {
+	if !c.runMu.TryLock() {
+		return nil, ErrBusy
+	}
+	defer c.runMu.Unlock()
+
+	snap := c.store.Snapshot()
+	if len(snap) < c.cfg.MinSamples {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, len(snap), c.cfg.MinSamples)
+	}
+
+	c.mu.Lock()
+	c.running = true
+	c.runs++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.running = false
+		c.mu.Unlock()
+	}()
+
+	// Deterministic shuffle, then carve off the holdout from the tail.
+	rng := rand.New(rand.NewSource(c.cfg.Seed + int64(c.runsSoFar())))
+	rng.Shuffle(len(snap), func(i, j int) { snap[i], snap[j] = snap[j], snap[i] })
+	nHold := int(float64(len(snap)) * c.cfg.HoldoutFrac)
+	if nHold < 1 {
+		nHold = 1
+	}
+	train, hold := snap[:len(snap)-nHold], snap[len(snap)-nHold:]
+
+	trainPlans := make([]*plan.Plan, len(train))
+	for i, s := range train {
+		trainPlans[i] = labeledPlan(s)
+	}
+
+	// Clone off the serving path: serving keeps reading the incumbent while
+	// the clone's adapters are fine-tuned.
+	incumbent := c.host.Model()
+	candidate := incumbent.Clone()
+	if !candidate.LoRAEnabled() {
+		candidate.EnableLoRA()
+	}
+	t0 := time.Now()
+	candidate.FineTuneLoRA(trainPlans, c.cfg.LR, c.cfg.Epochs)
+	trainMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	before := holdoutSummary(incumbent, hold)
+	after := holdoutSummary(candidate, hold)
+
+	out := &Outcome{
+		Samples:      len(snap),
+		Holdout:      nHold,
+		TrainMS:      trainMS,
+		BeforeMedian: before.Median,
+		BeforeP90:    before.P90,
+		AfterMedian:  after.Median,
+		AfterP90:     after.P90,
+	}
+
+	// The gate: strictly better on BOTH median and P90 by the margin, or
+	// the candidate is discarded and serving never sees it.
+	passMedian := after.Median < before.Median*(1-c.cfg.Gate)
+	passP90 := after.P90 < before.P90*(1-c.cfg.Gate)
+	if !(passMedian && passP90) {
+		out.Reason = fmt.Sprintf("gate rejected: median %.3f→%.3f, p90 %.3f→%.3f (need %.1f%% better on both)",
+			before.Median, after.Median, before.P90, after.P90, c.cfg.Gate*100)
+		c.mu.Lock()
+		c.rejects++
+		c.last = out
+		c.mu.Unlock()
+		return out, nil
+	}
+
+	out.Promoted = true
+	out.Reason = fmt.Sprintf("promoted: median %.3f→%.3f, p90 %.3f→%.3f",
+		before.Median, after.Median, before.P90, after.P90)
+	if c.cfg.ModelDir != "" {
+		v, err := SaveVersion(c.cfg.ModelDir, candidate, out.Reason)
+		if err != nil {
+			// Persisting failed; still promote in memory but say so.
+			out.Reason += "; artifact save failed: " + err.Error()
+		} else {
+			out.Version = v
+		}
+	}
+	c.host.SetModel(candidate)
+
+	c.mu.Lock()
+	c.promos++
+	if out.Version > 0 {
+		c.version = out.Version
+	}
+	c.last = out
+	// The drift window measured the old model; start fresh.
+	c.window = c.window[:0]
+	c.next = 0
+	c.filled = false
+	c.mu.Unlock()
+	return out, nil
+}
+
+func (c *Controller) runsSoFar() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Rollback reverts the artifact store to the previous version and swaps
+// that model into serving.
+func (c *Controller) Rollback() (int, error) {
+	if c.cfg.ModelDir == "" {
+		return 0, errors.New("adapt: no model directory configured")
+	}
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	m, v, err := Rollback(c.cfg.ModelDir)
+	if err != nil {
+		return 0, err
+	}
+	c.host.SetModel(m)
+	c.mu.Lock()
+	c.version = v
+	c.window = c.window[:0]
+	c.next = 0
+	c.filled = false
+	c.mu.Unlock()
+	return v, nil
+}
+
+// labeledPlan returns the sample's plan with the root's ActualMS set to
+// the observed latency, cloning the root node when the stored plan lacks
+// the label (featurize masks unlabeled interior nodes, so a root-only
+// label is valid supervision).
+func labeledPlan(s feedback.Sample) *plan.Plan {
+	if s.Plan.Root != nil && s.Plan.Root.ActualMS == s.ActualMS {
+		return s.Plan
+	}
+	root := *s.Plan.Root
+	root.ActualMS = s.ActualMS
+	p := *s.Plan
+	p.Root = &root
+	return &p
+}
+
+// holdoutSummary evaluates m on the holdout split, returning the summary
+// of root q-errors.
+func holdoutSummary(m *core.Model, hold []feedback.Sample) metrics.Summary {
+	qs := make([]float64, 0, len(hold))
+	for _, s := range hold {
+		est := m.Predict(s.Plan)
+		if est > 0 && s.ActualMS > 0 {
+			qs = append(qs, metrics.QError(est, s.ActualMS))
+		}
+	}
+	return metrics.Summarize(qs)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"dace/internal/executor"
+	"dace/internal/nn"
+	"dace/internal/schema"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	db := schema.BenchmarkDB("airline")
+	m1Plans := workloadPlans(t, db, 120, executor.M1())
+	m2Plans := workloadPlans(t, db, 120, executor.M2())
+	m := Train(m1Plans[:100], smallConfig())
+
+	test := m1Plans[100:]
+	var before []float64
+	for _, p := range test {
+		before = append(before, m.Predict(p))
+	}
+
+	c := m.Clone()
+	if c.Enc != m.Enc {
+		t.Fatal("clone must share the frozen encoder")
+	}
+	for i, p := range test {
+		if c.Predict(p) != before[i] {
+			t.Fatalf("fresh clone diverges on plan %d", i)
+		}
+	}
+
+	c.FineTuneLoRA(m2Plans, 2e-3, 4)
+	if !c.LoRAEnabled() {
+		t.Fatal("fine-tune did not attach adapters to the clone")
+	}
+	if m.LoRAEnabled() {
+		t.Fatal("fine-tuning the clone attached adapters to the original")
+	}
+	// The original's parameters and predictions are bitwise untouched.
+	for i, p := range test {
+		if got := m.Predict(p); got != before[i] {
+			t.Fatalf("fine-tuning the clone changed the original's prediction %d: %v → %v", i, before[i], got)
+		}
+	}
+}
+
+func TestCloneOfLoRAModelClonesAdapters(t *testing.T) {
+	db := schema.BenchmarkDB("airline")
+	m1Plans := workloadPlans(t, db, 100, executor.M1())
+	m2Plans := workloadPlans(t, db, 100, executor.M2())
+	m := Train(m1Plans[:80], smallConfig())
+	m.FineTuneLoRA(m2Plans[:80], 2e-3, 4)
+
+	c := m.Clone()
+	if !c.LoRAEnabled() {
+		t.Fatal("clone of a LoRA model must keep its adapters")
+	}
+	test := m2Plans[80:]
+	var before []float64
+	for _, p := range test {
+		before = append(before, m.Predict(p))
+	}
+	for i, p := range test {
+		if c.Predict(p) != before[i] {
+			t.Fatalf("LoRA clone diverges on plan %d", i)
+		}
+	}
+	// A second round of fine-tuning on the clone leaves the original fixed.
+	c.FineTuneLoRA(m2Plans[:80], 2e-3, 2)
+	for i, p := range test {
+		if got := m.Predict(p); got != before[i] {
+			t.Fatalf("second-round fine-tune leaked into the original (plan %d)", i)
+		}
+	}
+}
+
+// TestConcurrentPredictDuringCloneAndFineTune is the serving-path safety
+// contract of online adaptation: while a clone is created and fine-tuned in
+// the background, concurrent Predict calls on the original must be
+// race-clean (run under -race) and return bitwise-identical results
+// throughout.
+func TestConcurrentPredictDuringCloneAndFineTune(t *testing.T) {
+	db := schema.BenchmarkDB("airline")
+	m1Plans := workloadPlans(t, db, 120, executor.M1())
+	m2Plans := workloadPlans(t, db, 120, executor.M2())
+	m := Train(m1Plans[:100], smallConfig())
+
+	test := m1Plans[100:]
+	var before []float64
+	for _, p := range test {
+		before = append(before, m.Predict(p))
+	}
+
+	done := make(chan *Model, 1)
+	go func() {
+		c := m.Clone()
+		c.FineTuneLoRA(m2Plans, 2e-3, 3)
+		done <- c
+	}()
+
+	var c *Model
+	for c == nil {
+		for i, p := range test {
+			if got := m.Predict(p); got != before[i] {
+				t.Errorf("prediction %d drifted during background fine-tune: %v → %v", i, before[i], got)
+				return
+			}
+		}
+		select {
+		case c = <-done:
+		default:
+		}
+	}
+	// And once more after the fine-tune finished.
+	for i, p := range test {
+		if got := m.Predict(p); got != before[i] {
+			t.Fatalf("prediction %d drifted after background fine-tune", i)
+		}
+	}
+	if c.TrainableParams() >= nn.NumParams(c.Params()) {
+		t.Fatal("fine-tuned clone should train only adapters")
+	}
+}

@@ -100,6 +100,32 @@ func NewModel(cfg Config) *Model {
 	return m
 }
 
+// Clone returns a deep copy of the model: every parameter (attention, MLP,
+// γ, and any LoRA adapters) gets independent storage with fresh zero
+// gradients, while the fitted encoder and the Config slices — immutable
+// after construction — are shared. Fine-tuning the clone never mutates the
+// original, so a serving model can keep answering Predict calls while its
+// clone trains in the background.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Cfg:   m.Cfg,
+		Enc:   m.Enc,
+		Att:   m.Att.Clone(),
+		Gamma: m.Gamma.Clone(),
+	}
+	c.MLP = make([]*nn.Dense, len(m.MLP))
+	for i, l := range m.MLP {
+		c.MLP[i] = l.Clone()
+	}
+	if m.lora != nil {
+		c.lora = make([]*nn.LoRADense, len(m.lora))
+		for i, ad := range m.lora {
+			c.lora[i] = ad.CloneWithBase(c.MLP[i])
+		}
+	}
+	return c
+}
+
 // Params returns all trainable parameters (attention + MLP + adapters).
 func (m *Model) Params() []*nn.Param {
 	ps := append([]*nn.Param(nil), m.Att.Params()...)

@@ -149,16 +149,28 @@ func (e *Encoder) fill(enc *Encoded, nodes []*plan.Node) {
 			card = node.ActualRows
 		}
 		enc.X.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
+		w := math.Pow(e.Alpha, float64(enc.Heights[i]))
 		if node.ActualMS > 0 {
 			enc.Y.Set(i, 0, e.Label.Transform(logSafe(node.ActualMS)))
+		} else {
+			// An unlabeled node carries no supervision: Y stays 0, and its
+			// loss weight must too, or training would pull the node's
+			// prediction toward the scaled zero label. Executor-labeled
+			// corpora label every node, so this only bites partially
+			// labeled plans (e.g. feedback reports carrying only the root
+			// latency).
+			w = 0
 		}
-		enc.LossW.Set(i, 0, math.Pow(e.Alpha, float64(enc.Heights[i])))
+		enc.LossW.Set(i, 0, w)
 	}
 	if e.Alpha == 0 {
 		// α=0 would zero every non-root weight via Pow(0, h>0) but also set
-		// the root's 0^0 = 1; that is the intended "root only" mode.
+		// the root's 0^0 = 1; that is the intended "root only" mode (the
+		// root weight still requires a root label).
 		enc.LossW.Zero()
-		enc.LossW.Set(0, 0, 1)
+		if len(nodes) > 0 && nodes[0].ActualMS > 0 {
+			enc.LossW.Set(0, 0, 1)
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+// Package feedback is the ingestion side of DACE's online-adaptation loop:
+// a bounded, concurrency-safe replay buffer of observed
+// (plan, actual latency) samples, plus an append-only CRC32-framed on-disk
+// log so feedback survives process restarts.
+//
+// The store deduplicates by plan fingerprint — an optimizer re-costs the
+// same plans over and over, and a thousand copies of one plan teach the
+// fine-tuner nothing — and degrades to uniform reservoir sampling once the
+// capacity is reached, so the buffer stays an unbiased sample of the
+// distinct plans observed since startup rather than a window over the most
+// recent burst.
+package feedback
+
+import (
+	"math/rand"
+	"sync"
+
+	"dace/internal/plan"
+)
+
+// Sample is one observed execution: the plan as served (nodes may carry
+// per-node actual_ms labels for deeper supervision) and the measured root
+// latency. PredictedMS records what the serving model answered at ingest
+// time, for drift bookkeeping; 0 means unknown.
+type Sample struct {
+	Plan        *plan.Plan
+	ActualMS    float64
+	PredictedMS float64
+}
+
+// Store is the bounded replay buffer. All methods are safe for concurrent
+// use. Plans handed to Add are retained by reference and must not be
+// mutated afterwards.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	rng      *rand.Rand
+	index    map[plan.Fingerprint]int // fingerprint → slot
+	samples  []Sample
+	fps      []plan.Fingerprint // slot → fingerprint (for eviction)
+	offered  int64              // distinct fingerprints ever offered (reservoir clock)
+	updated  uint64
+	dropped  uint64
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+	Offered  int64  `json:"offered"` // distinct plans ever offered
+	Updated  uint64 `json:"updated"` // dedup refreshes of a resident plan
+	Dropped  uint64 `json:"dropped"` // reservoir rejections after capacity
+}
+
+// NewStore builds a store holding at most capacity distinct plans.
+// Reservoir replacement is driven by a seeded RNG so runs are reproducible.
+func NewStore(capacity int, seed int64) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+		index:    make(map[plan.Fingerprint]int, capacity),
+	}
+}
+
+// Add offers a sample to the store and reports whether it is resident
+// afterwards. A sample whose fingerprint is already present refreshes that
+// slot in place (latest observation wins) without consuming a reservoir
+// draw. Once the store is full, a new fingerprint replaces a uniformly
+// random resident with probability capacity/offered — classic reservoir
+// sampling over the distinct-plan stream. Samples without a root or with a
+// non-positive latency are rejected.
+func (s *Store) Add(smp Sample) bool {
+	if smp.Plan == nil || !(smp.ActualMS > 0) {
+		return false
+	}
+	fp := smp.Plan.Fingerprint()
+	if fp.IsZero() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.index[fp]; ok {
+		s.samples[i] = smp
+		s.updated++
+		return true
+	}
+	s.offered++
+	if len(s.samples) < s.capacity {
+		s.index[fp] = len(s.samples)
+		s.samples = append(s.samples, smp)
+		s.fps = append(s.fps, fp)
+		return true
+	}
+	j := s.rng.Int63n(s.offered)
+	if j >= int64(s.capacity) {
+		s.dropped++
+		return false
+	}
+	delete(s.index, s.fps[j])
+	s.samples[j] = smp
+	s.fps[j] = fp
+	s.index[fp] = int(j)
+	return true
+}
+
+// Len returns the number of resident samples.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Snapshot returns a copy of the resident samples, safe to read while the
+// store keeps ingesting. The Sample structs are copied; the plans they
+// point at are shared and treated as immutable.
+func (s *Store) Snapshot() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Size:     len(s.samples),
+		Capacity: s.capacity,
+		Offered:  s.offered,
+		Updated:  s.updated,
+		Dropped:  s.dropped,
+	}
+}

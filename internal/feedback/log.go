@@ -1,0 +1,189 @@
+package feedback
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"dace/internal/plan"
+)
+
+// Log is the durable side of the replay buffer: an append-only file of
+// CRC32-framed records, one per feedback sample. Each record is
+//
+//	[4-byte little-endian payload length][4-byte CRC32(payload)][payload]
+//
+// with a JSON payload. Appends are atomic at the frame level: a crash can
+// tear at most the final record, and Open detects the torn tail (short
+// frame, absurd length, or CRC mismatch) and truncates the file back to
+// the last intact record before any replay. Everything before the tail is
+// CRC-verified on every Replay, so a bit flip surfaces as an error rather
+// than a silently corrupted training sample.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+// maxRecordSize bounds one framed payload; a length field beyond it marks
+// the tail as torn (the serve layer caps request bodies well below this).
+const maxRecordSize = 16 << 20
+
+// record is the wire form of one sample.
+type record struct {
+	Plan        *plan.Plan `json:"plan"`
+	ActualMS    float64    `json:"actual_ms"`
+	PredictedMS float64    `json:"predicted_ms,omitempty"`
+}
+
+// Open opens (creating if needed) the log at path and repairs its tail: the
+// file is scanned frame by frame, and the first torn or corrupt frame —
+// the signature of a crash mid-append — truncates the file at the last
+// intact boundary. The returned log is positioned for appends.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := scanValid(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("feedback: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// scanValid returns the byte offset of the last intact frame boundary.
+func scanValid(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var (
+		offset int64
+		header [8]byte
+		buf    []byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			// Clean EOF or a torn header: everything from offset on is tail.
+			return offset, nil
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > maxRecordSize {
+			return offset, nil
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != crc {
+			return offset, nil // corrupt frame
+		}
+		offset += 8 + int64(n)
+	}
+}
+
+// Append frames and writes one sample. The frame is assembled in one
+// buffer and issued as a single Write, so concurrent appends never
+// interleave and a crash tears at most the final frame.
+func (l *Log) Append(smp Sample) error {
+	payload, err := json.Marshal(record{Plan: smp.Plan, ActualMS: smp.ActualMS, PredictedMS: smp.PredictedMS})
+	if err != nil {
+		return fmt.Errorf("feedback: encode record: %w", err)
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("feedback: record of %d bytes exceeds frame limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = l.buf[:0]
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(payload)))
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("feedback: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Replay reads every record from the start of the log in append order and
+// hands it to fn; fn returning an error stops the replay. Open has already
+// truncated any torn tail, so a CRC failure here means on-disk corruption
+// of a previously intact record and is reported as an error. Replay holds
+// the log lock — call it before serving starts.
+func (l *Log) Replay(fn func(Sample) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, err := os.Open(l.path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	var (
+		count  int
+		header [8]byte
+		buf    []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if err == io.EOF {
+				return count, nil
+			}
+			return count, fmt.Errorf("feedback: replay frame header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > maxRecordSize {
+			return count, fmt.Errorf("feedback: replay: frame length %d out of range", n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return count, fmt.Errorf("feedback: replay frame payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(buf) != crc {
+			return count, fmt.Errorf("feedback: replay: record %d failed its checksum", count)
+		}
+		var rec record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return count, fmt.Errorf("feedback: replay record %d: %w", count, err)
+		}
+		if err := fn(Sample{Plan: rec.Plan, ActualMS: rec.ActualMS, PredictedMS: rec.PredictedMS}); err != nil {
+			return count, err
+		}
+		count++
+	}
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -30,6 +30,9 @@ func (d *Dense) Apply(t *Tape, x *Node) *Node {
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
+// Clone returns a deep copy of the layer (fresh gradients, copied values).
+func (d *Dense) Clone() *Dense { return &Dense{W: d.W.Clone(), B: d.B.Clone()} }
+
 // In returns the layer's input width.
 func (d *Dense) In() int { return d.W.Value.Rows }
 
@@ -81,6 +84,19 @@ func (l *LoRADense) Apply(t *Tape, x *Node) *Node {
 // Params returns all parameters (base + adapter).
 func (l *LoRADense) Params() []*Param {
 	return append(l.Base.Params(), l.Down, l.Up)
+}
+
+// CloneWithBase returns a deep copy of the adapter factors attached to the
+// given (already cloned) base layer, so a cloned model shares no parameter
+// storage with its original.
+func (l *LoRADense) CloneWithBase(base *Dense) *LoRADense {
+	return &LoRADense{
+		Base:  base,
+		Down:  l.Down.Clone(),
+		Up:    l.Up.Clone(),
+		Rank:  l.Rank,
+		Scale: l.Scale,
+	}
 }
 
 // FreezeBase marks the wrapped Dense untrainable and the adapter trainable,
@@ -168,6 +184,11 @@ func (a *Attention) ApplyOneHot(t *Tape, x *Matrix, types []int, hot int, spans 
 
 // Params returns the projection parameters.
 func (a *Attention) Params() []*Param { return []*Param{a.WQ, a.WK, a.WV} }
+
+// Clone returns a deep copy of the attention block.
+func (a *Attention) Clone() *Attention {
+	return &Attention{WQ: a.WQ.Clone(), WK: a.WK.Clone(), WV: a.WV.Clone(), DK: a.DK}
+}
 
 // MLP is a stack of Dense layers with ReLU between them (none after the last).
 type MLP struct {

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testParams(names ...string) []*Param {
+	rng := rand.New(rand.NewSource(3))
+	var ps []*Param
+	for i, name := range names {
+		p := NewParam(name, 2+i, 3)
+		for j := range p.Value.Data {
+			p.Value.Data[j] = rng.NormFloat64()
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestFramedSaveLoadParamsRoundTrip(t *testing.T) {
+	src := testParams("a.W", "a.B", "b.W")
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := testParams("a.W", "a.B", "b.W")
+	for _, p := range dst {
+		p.Value.Zero()
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		for j := range src[i].Value.Data {
+			if dst[i].Value.Data[j] != src[i].Value.Data[j] {
+				t.Fatalf("param %q value %d not restored", src[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestLoadParamsRejectsTruncation(t *testing.T) {
+	src := testParams("a.W", "a.B")
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 4} {
+		if err := LoadParams(bytes.NewReader(full[:cut]), testParams("a.W", "a.B")); err == nil {
+			t.Fatalf("truncation at %d of %d bytes loaded silently", cut, len(full))
+		}
+	}
+}
+
+func TestLoadParamsRejectsCorruption(t *testing.T) {
+	src := testParams("a.W", "a.B")
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the payload without breaking JSON syntax: the
+	// CRC must catch it even though the document still parses.
+	s := buf.String()
+	i := strings.Index(s, `"data":[`) + len(`"data":[`)
+	for ; i < len(s); i++ {
+		if s[i] >= '1' && s[i] <= '8' {
+			break
+		}
+	}
+	mutated := s[:i] + string(s[i]+1) + s[i+1:]
+	err := LoadParams(strings.NewReader(mutated), testParams("a.W", "a.B"))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted payload: err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestLoadParamsRejectsArchitectureMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, testParams("a.W", "a.B")); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong parameter count: caught by the frame before any copy happens.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), testParams("a.W", "a.B", "c.W")); err == nil {
+		t.Fatal("count mismatch loaded silently")
+	}
+	// Same count, wrong shape: caught per-parameter.
+	dst := testParams("a.W", "a.B")
+	dst[0] = NewParam("a.W", 7, 7)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Fatal("shape mismatch loaded silently")
+	}
+	// Not a parameter dump at all.
+	if err := LoadParams(strings.NewReader(`{"magic":"other","version":1}`), dst); err == nil {
+		t.Fatal("foreign document loaded silently")
+	}
+}
+
+func TestLoadParamsReadsLegacyHeaderlessDump(t *testing.T) {
+	src := testParams("a.W")
+	legacy, err := json.Marshal([]paramJSON{{
+		Name: "a.W", Rows: src[0].Value.Rows, Cols: src[0].Value.Cols, Data: src[0].Value.Data,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testParams("a.W")
+	dst[0].Value.Zero()
+	if err := LoadParams(bytes.NewReader(legacy), dst); err != nil {
+		t.Fatalf("legacy dump rejected: %v", err)
+	}
+	if dst[0].Value.Data[0] != src[0].Value.Data[0] {
+		t.Fatal("legacy dump not applied")
+	}
+}
+
+func TestParamCloneIsDeep(t *testing.T) {
+	p := testParams("w")[0]
+	p.Frozen = true
+	c := p.Clone()
+	if c.Name != p.Name || !c.Frozen {
+		t.Fatal("clone lost metadata")
+	}
+	c.Value.Data[0]++
+	if c.Value.Data[0] == p.Value.Data[0] {
+		t.Fatal("clone shares value storage")
+	}
+	if c.Grad == p.Grad {
+		t.Fatal("clone shares gradient storage")
+	}
+}
+
+func TestLayerClonesAreDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense("d", 4, 3, rng)
+	dc := d.Clone()
+	dc.W.Value.Data[0]++
+	dc.B.Value.Data[0]++
+	if dc.W.Value.Data[0] == d.W.Value.Data[0] || dc.B.Value.Data[0] == d.B.Value.Data[0] {
+		t.Fatal("Dense clone shares storage")
+	}
+
+	a := NewAttention("a", 4, 3, 3, rng)
+	ac := a.Clone()
+	ac.WQ.Value.Data[0]++
+	if ac.WQ.Value.Data[0] == a.WQ.Value.Data[0] || ac.DK != a.DK {
+		t.Fatal("Attention clone shares storage or lost DK")
+	}
+
+	l := NewLoRADense(d, 2, rng)
+	l.FreezeBase()
+	lc := l.CloneWithBase(d.Clone())
+	lc.Down.Value.Data[0]++
+	if lc.Down.Value.Data[0] == l.Down.Value.Data[0] {
+		t.Fatal("LoRA clone shares adapter storage")
+	}
+	if lc.Rank != l.Rank || lc.Scale != l.Scale || !lc.Base.W.Frozen {
+		t.Fatal("LoRA clone lost rank/scale/frozen state")
+	}
+}

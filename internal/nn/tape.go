@@ -23,6 +23,19 @@ func NewParam(name string, rows, cols int) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// Clone returns an independent copy of p: same name, frozen flag, and a
+// deep-copied value, with a fresh zero gradient. Training the clone never
+// touches p — the contract online adaptation's clone-then-fine-tune
+// relies on.
+func (p *Param) Clone() *Param {
+	return &Param{
+		Name:   p.Name,
+		Value:  p.Value.Clone(),
+		Grad:   NewMatrix(p.Value.Rows, p.Value.Cols),
+		Frozen: p.Frozen,
+	}
+}
+
 // Node is a value in the autodiff graph. Nodes are created through Tape
 // operations; Grad is populated during Tape.Backward.
 //

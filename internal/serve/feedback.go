@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"dace/internal/plan"
+)
+
+// The online-adaptation surface. serve deliberately does not import the
+// adapt package: the server talks to the feedback store and the adaptation
+// controller through these two interfaces, and the daemon wires the
+// concrete types in. A server with nil Feedback/Adapt simply doesn't
+// register the corresponding endpoints.
+
+// FeedbackSink receives one observed execution per call. Implementations
+// must be safe for concurrent use and must not block on model training —
+// Observe sits on the serving path. *adapt.Controller satisfies it.
+type FeedbackSink interface {
+	Observe(p *plan.Plan, actualMS, predictedMS float64)
+}
+
+// Adapter exposes the adaptation controller to HTTP: Status powers
+// GET /adapt/status, Trigger powers POST /adapt/trigger. An error whose
+// Busy() method reports true maps to 409 Conflict. *adapt.Controller
+// satisfies it.
+type Adapter interface {
+	Status() any
+	Trigger() (any, error)
+}
+
+// MaxFeedbackBody caps one POST /feedback document; overflow returns 413.
+var MaxFeedbackBody int64 = 4 << 20
+
+// feedbackRequest is the POST /feedback body. PredictedMS is optional:
+// when absent, the server fills it with the current model's prediction so
+// drift is measured against what would be served right now.
+type feedbackRequest struct {
+	Plan        json.RawMessage `json:"plan"`
+	ActualMS    float64         `json:"actual_ms"`
+	PredictedMS float64         `json:"predicted_ms"`
+}
+
+// feedbackResponse acknowledges one accepted sample.
+type feedbackResponse struct {
+	Accepted    bool    `json:"accepted"`
+	PredictedMS float64 `json:"predicted_ms,omitempty"`
+	QError      float64 `json:"q_error,omitempty"`
+}
+
+// handleFeedback ingests one (plan, actual latency) observation.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "plan" && format != "pg" {
+		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxFeedbackBody)
+
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Plan) == 0 {
+		http.Error(w, "feedback requires a plan", http.StatusBadRequest)
+		return
+	}
+	if !(req.ActualMS > 0) || math.IsInf(req.ActualMS, 0) {
+		http.Error(w, "actual_ms must be a finite positive number", http.StatusBadRequest)
+		return
+	}
+	if req.PredictedMS < 0 || math.IsNaN(req.PredictedMS) || math.IsInf(req.PredictedMS, 0) {
+		http.Error(w, "predicted_ms must be a finite non-negative number", http.StatusBadRequest)
+		return
+	}
+	p, err := decodePlan(bytes.NewReader(req.Plan), format, r.URL.Query().Get("database"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Fill in the serving model's answer when the client didn't record one;
+	// the pipeline makes this nearly free for plans seen before.
+	if req.PredictedMS == 0 {
+		if preds, err := s.predsFor(p); err == nil && len(preds) > 0 {
+			req.PredictedMS = preds[0]
+		}
+	}
+	s.Feedback.Observe(p, req.ActualMS, req.PredictedMS)
+
+	resp := feedbackResponse{Accepted: true, PredictedMS: req.PredictedMS}
+	if req.PredictedMS > 0 {
+		hi, lo := req.PredictedMS, req.ActualMS
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		resp.QError = hi / lo
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, resp)
+}
+
+// handleAdaptStatus serves the controller's introspection document.
+func (s *Server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Adapt.Status())
+}
+
+// handleAdaptTrigger runs one synchronous adaptation attempt. A busy
+// controller (one already in flight) is 409; any other refusal is 409 with
+// the reason in the body; success returns the gate's outcome document.
+func (s *Server) handleAdaptTrigger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	out, err := s.Adapt.Trigger()
+	if err != nil {
+		var busy interface{ Busy() bool }
+		if errors.As(err, &busy) && busy.Busy() {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		// Refused for a non-concurrency reason (e.g. too few samples).
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, out)
+}
+
+// checkFinite rejects plans carrying NaN or infinite numeric features —
+// they would poison both the prediction (NaN propagates through the
+// forward pass) and any feedback sample stored for fine-tuning.
+func checkFinite(p *plan.Plan) error {
+	var walk func(n *plan.Node) error
+	walk = func(n *plan.Node) error {
+		for _, v := range [...]float64{n.EstRows, n.EstCost, n.ActualRows, n.ActualMS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plan node %s has a non-finite feature", n.Type)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p.Root)
+}

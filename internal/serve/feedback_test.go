@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dace/internal/adapt"
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/feedback"
+	"dace/internal/metrics"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// recordingSink captures Observe calls.
+type recordingSink struct {
+	mu   sync.Mutex
+	obs  []feedback.Sample
+	last *plan.Plan
+}
+
+func (r *recordingSink) Observe(p *plan.Plan, actualMS, predictedMS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = append(r.obs, feedback.Sample{Plan: p, ActualMS: actualMS, PredictedMS: predictedMS})
+	r.last = p
+}
+
+func (r *recordingSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.obs)
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func feedbackBody(t *testing.T, p *plan.Plan, actualMS float64) []byte {
+	t.Helper()
+	var pb bytes.Buffer
+	if err := p.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(map[string]any{"plan": json.RawMessage(pb.Bytes()), "actual_ms": actualMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFeedbackEndpointAbsentWithoutSink(t *testing.T) {
+	s, samples := trainedServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/feedback", "application/json",
+		bytes.NewReader(feedbackBody(t, samples[0].Plan, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("feedback without a sink: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFeedbackEndpointValidation(t *testing.T) {
+	s, samples := trainedServer(t)
+	sink := &recordingSink{}
+	s.Feedback = sink
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	p := samples[0].Plan
+
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"not json":           {"{", http.StatusBadRequest},
+		"no plan":            {`{"actual_ms": 5}`, http.StatusBadRequest},
+		"zero actual":        {string(feedbackBody(t, p, 0)), http.StatusBadRequest},
+		"negative actual":    {string(feedbackBody(t, p, -3)), http.StatusBadRequest},
+		"overflowing actual": {`{"plan": {"root": {"type": 0}}, "actual_ms": 1e999}`, http.StatusBadRequest},
+		"nan-ish feature":    {`{"plan": {"root": {"type": 0, "est_rows": 1e999}}, "actual_ms": 5}`, http.StatusBadRequest},
+		"negative predicted": {`{"plan": {"root": {"type": 0}}, "actual_ms": 5, "predicted_ms": -1}`, http.StatusBadRequest},
+		"rootless plan":      {`{"plan": {"database": "x"}, "actual_ms": 5}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/feedback", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", name, resp.StatusCode, tc.status)
+		}
+	}
+	if sink.count() != 0 {
+		t.Fatalf("invalid feedback reached the sink %d times", sink.count())
+	}
+
+	// A valid observation is accepted, and the server fills predicted_ms
+	// from the serving model when the client omits it.
+	resp := postJSON(t, srv.URL+"/feedback", json.RawMessage(feedbackBody(t, p, 7.5)))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("valid feedback: status %d, want 202", resp.StatusCode)
+	}
+	var ack feedbackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Accepted || ack.PredictedMS <= 0 || ack.QError < 1 {
+		t.Fatalf("ack %+v", ack)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("sink saw %d observations, want 1", sink.count())
+	}
+	sink.mu.Lock()
+	got := sink.obs[0]
+	sink.mu.Unlock()
+	if got.ActualMS != 7.5 || got.PredictedMS != ack.PredictedMS {
+		t.Fatalf("sink observation %+v vs ack %+v", got, ack)
+	}
+	if got.Plan.Fingerprint() != p.Fingerprint() {
+		t.Fatal("plan identity lost on the way to the sink")
+	}
+}
+
+func TestFeedbackBodyCap(t *testing.T) {
+	s, samples := trainedServer(t)
+	s.Feedback = &recordingSink{}
+	old := MaxFeedbackBody
+	MaxFeedbackBody = 64
+	defer func() { MaxFeedbackBody = old }()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/feedback", "application/json",
+		bytes.NewReader(feedbackBody(t, samples[0].Plan, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized feedback: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestCheckFiniteWalksTheTree(t *testing.T) {
+	mk := func(mutate func(*plan.Node)) *plan.Plan {
+		leaf := &plan.Node{Type: plan.SeqScan, EstRows: 10, EstCost: 100}
+		root := &plan.Node{Type: plan.HashJoin, EstRows: 5, EstCost: 500, Children: []*plan.Node{leaf}}
+		mutate(leaf)
+		return &plan.Plan{Database: "t", Root: root}
+	}
+	if err := checkFinite(mk(func(*plan.Node) {})); err != nil {
+		t.Fatalf("finite plan rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*plan.Node){
+		"nan est_rows":    func(n *plan.Node) { n.EstRows = math.NaN() },
+		"inf est_cost":    func(n *plan.Node) { n.EstCost = math.Inf(1) },
+		"-inf actual":     func(n *plan.Node) { n.ActualMS = math.Inf(-1) },
+		"nan actual_rows": func(n *plan.Node) { n.ActualRows = math.NaN() },
+	} {
+		if err := checkFinite(mk(mutate)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// stubAdapter scripts Status/Trigger responses.
+type stubAdapter struct {
+	status any
+	out    any
+	err    error
+}
+
+func (a *stubAdapter) Status() any           { return a.status }
+func (a *stubAdapter) Trigger() (any, error) { return a.out, a.err }
+
+func TestAdaptEndpoints(t *testing.T) {
+	s, _ := trainedServer(t)
+	ad := &stubAdapter{status: map[string]int{"runs": 3}, out: map[string]bool{"promoted": true}}
+	s.Adapt = ad
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/adapt/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"runs":3`) {
+		t.Fatalf("status endpoint: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(srv.URL+"/adapt/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"promoted":true`) {
+		t.Fatalf("trigger: %d %s", resp.StatusCode, body)
+	}
+
+	ad.err = adapt.ErrBusy
+	resp, err = http.Post(srv.URL+"/adapt/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("busy trigger: status %d, want 409", resp.StatusCode)
+	}
+
+	ad.err = errors.New("not enough samples")
+	resp, err = http.Post(srv.URL+"/adapt/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("refused trigger: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestAdaptationEndToEnd drives the full loop over HTTP: a model trained on
+// machine M1 serves an M2 workload, feedback flows through POST /feedback
+// into the replay store and durable log, POST /adapt/trigger fine-tunes and
+// the gate promotes, and /predict immediately serves the adapted model
+// (caches flushed by the swap). A second, unpassable-gated controller then
+// shows a rejected candidate leaving the serving model and caches alone.
+func TestAdaptationEndToEnd(t *testing.T) {
+	db := schema.BenchmarkDB("airline")
+	m1Samples, err := dataset.ComplexWorkload(db, 150, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2Samples, err := dataset.ComplexWorkload(db, 220, executor.M2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DK, cfg.DV = 32, 32
+	cfg.Hidden = []int{32, 16, 1}
+	cfg.LoRARanks = []int{8, 4, 2}
+	cfg.Epochs = 12
+	seed := core.Train(dataset.Plans(m1Samples[:120]), cfg)
+
+	s := NewWithConfig(seed, Config{CacheSize: 256})
+	dir := t.TempDir()
+	log, err := feedback.Open(filepath.Join(dir, "feedback.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	store := feedback.NewStore(512, 1)
+	ctl := adapt.New(s, store, log, adapt.Config{
+		MinSamples: 50,
+		Gate:       0.02,
+		LR:         2e-3,
+		Epochs:     16,
+		ModelDir:   filepath.Join(dir, "models"),
+		Seed:       7,
+	})
+	s.Feedback = ctl
+	s.Adapt = ctl
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// The drifted workload arrives as feedback.
+	for _, smp := range m2Samples[:180] {
+		resp, err := http.Post(srv.URL+"/feedback", "application/json",
+			bytes.NewReader(feedbackBody(t, smp.Plan, smp.Plan.Root.ActualMS)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("feedback rejected with %d", resp.StatusCode)
+		}
+	}
+	var st adapt.Status
+	resp, err := http.Get(srv.URL + "/adapt/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Store.Size < 50 {
+		t.Fatalf("store holds %d samples after 180 observations", st.Store.Size)
+	}
+
+	holdout := dataset.Plans(m2Samples[180:])
+	beforeMed := e2eMedian(seed, holdout)
+
+	resp, err = http.Post(srv.URL+"/adapt/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out adapt.Outcome
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trigger: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Promoted || out.Version != 1 {
+		t.Fatalf("adaptation not promoted: %s", body)
+	}
+	served := s.Model()
+	if served == seed {
+		t.Fatal("serving model did not swap after promotion")
+	}
+	if afterMed := e2eMedian(served, holdout); afterMed >= beforeMed {
+		t.Fatalf("promoted model no better on drifted holdout: %v → %v", beforeMed, afterMed)
+	}
+
+	// /predict serves the adapted model: the cached response for a probe
+	// plan must differ from the seed model's answer.
+	probe := holdout[0]
+	var pb bytes.Buffer
+	if err := probe.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(pb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pred.RootMS == seed.Predict(probe) && pred.RootMS != served.Predict(probe) {
+		t.Fatal("stale (pre-swap) prediction served after promotion")
+	}
+	if pred.RootMS != served.Predict(probe) {
+		t.Fatalf("served %v, promoted model says %v", pred.RootMS, served.Predict(probe))
+	}
+
+	// The durable log replays every accepted sample.
+	n, err := log.Replay(func(feedback.Sample) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 180 {
+		t.Fatalf("log replayed %d records, want 180", n)
+	}
+
+	// Rejection path: a gate nothing can pass. The serving model pointer
+	// and the cached /predict bytes must be untouched by the failed attempt.
+	ctl2 := adapt.New(s, store, nil, adapt.Config{
+		MinSamples: 50,
+		Gate:       0.99,
+		LR:         2e-3,
+		Epochs:     2,
+		Seed:       11,
+	})
+	s.Adapt = ctl2
+	preFlush := cacheBytes(t, srv.URL, pb.Bytes())
+	resp, err = http.Post(srv.URL+"/adapt/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Promoted {
+		t.Fatalf("99%% gate passed: %s", body)
+	}
+	if s.Model() != served {
+		t.Fatal("rejected candidate replaced the serving model")
+	}
+	if post := cacheBytes(t, srv.URL, pb.Bytes()); !bytes.Equal(preFlush, post) {
+		t.Fatal("rejected candidate disturbed the response cache")
+	}
+}
+
+func e2eMedian(m *core.Model, plans []*plan.Plan) float64 {
+	var qs []float64
+	for _, p := range plans {
+		qs = append(qs, metrics.QError(m.Predict(p), p.Root.ActualMS))
+	}
+	return metrics.Summarize(qs).Median
+}
+
+func cacheBytes(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -90,6 +90,13 @@ type Server struct {
 	// one worker per CPU. Set before serving starts.
 	Workers int
 
+	// Feedback, when set before Handler is called, enables POST /feedback:
+	// every accepted observation is handed to the sink. Adapt likewise
+	// enables GET /adapt/status and POST /adapt/trigger. Both are nil by
+	// default — the endpoints 404 and serving behaves exactly as before.
+	Feedback FeedbackSink
+	Adapt    Adapter
+
 	cfg    Config
 	preds  *servecache.Cache[[]float64] // plan fingerprint → DFS predictions
 	bodies *servecache.Cache[[]byte]    // request bytes → response bytes
@@ -160,6 +167,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.Feedback != nil {
+		mux.HandleFunc("/feedback", s.handleFeedback)
+	}
+	if s.Adapt != nil {
+		mux.HandleFunc("/adapt/status", s.handleAdaptStatus)
+		mux.HandleFunc("/adapt/trigger", s.handleAdaptTrigger)
+	}
 	return mux
 }
 
@@ -200,6 +214,9 @@ func decodePlan(body *bytes.Reader, format, database string) (*plan.Plan, error)
 	}
 	if p.Root == nil {
 		return nil, errors.New("plan has no root")
+	}
+	if err := checkFinite(p); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
