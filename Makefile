@@ -3,7 +3,7 @@ GO ?= go
 # Packages that gained concurrency (worker-pool training / batch inference,
 # pooled tapes and scratch encoders) and must stay clean under the race
 # detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/servecache ./internal/baselines ./internal/feedback ./internal/adapt
+RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/servecache ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry
 
 .PHONY: all fmt vet build test race bench ci
 

@@ -196,6 +196,10 @@ func main() {
 	rep.Results = append(rep.Results, measure("predict_subplans_append", len(test), 1, *warmup, *runs,
 		func(i int) { predsBuf = m.AppendPredictSubPlans(predsBuf[:0], test[i]) }))
 
+	// Telemetry overhead: instrumented vs uninstrumented Predict, gated
+	// below under -check (0 allocs, <5% latency).
+	telOverhead, telAllocs := benchTelemetry(&rep, m, test, *warmup, *runs)
+
 	// End-to-end serving scenarios: concurrent HTTP clients against the
 	// cached+batched pipeline and the uncached baseline server.
 	speedup := benchServe(&rep, m, test, *quick)
@@ -233,6 +237,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bench: no regression > %.0f%% vs baseline\n", *maxRegress)
+		// The telemetry budget is absolute, not baseline-relative: the
+		// instrumented hot path must stay allocation-free and within 5%.
+		// Any real per-op allocation measures >= 1; the 0.1 threshold only
+		// tolerates background-runtime noise in the memstats delta.
+		if telAllocs > 0.1 {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION instrumented predict allocates (%.2f allocs/op, want 0)\n", telAllocs)
+			os.Exit(1)
+		}
+		if telOverhead > 5 {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION telemetry overhead %.2f%% exceeds the 5%% budget\n", telOverhead)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: telemetry within budget (%.2f%% overhead, %.2f allocs/op)\n", telOverhead, telAllocs)
 	}
 }
 

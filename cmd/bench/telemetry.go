@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/plan"
+	"dace/internal/telemetry"
+)
+
+// benchTelemetry measures what instrumentation costs the inference hot path:
+// the same Predict loop with and without the full per-request telemetry set
+// (one counter increment, one latency-histogram observation, two time.Now
+// calls — exactly what the serve layer's instrument wrapper adds). The two
+// variants run in alternating rounds and each keeps its best round, so a GC
+// or scheduler hiccup in one round can't masquerade as telemetry overhead.
+//
+// Returns the overhead percentage and the instrumented variant's allocs/op;
+// main's -check gate enforces 0 allocs and the <5% overhead budget.
+func benchTelemetry(rep *Report, m *core.Model, test []*plan.Plan, warmup, runs int) (overheadPct, instrAllocs float64) {
+	reg := telemetry.NewRegistry()
+	requests := reg.Counter("bench_requests_total", "Instrumented ops.")
+	latency := reg.Histogram("bench_latency_seconds", "Instrumented op latency.",
+		telemetry.LatencyBounds())
+
+	plain := func(i int) { m.Predict(test[i]) }
+	instrumented := func(i int) {
+		t0 := time.Now()
+		m.Predict(test[i])
+		requests.Inc()
+		latency.Observe(time.Since(t0).Seconds())
+	}
+
+	const rounds = 3
+	var base, instr Result
+	for round := 0; round < rounds; round++ {
+		b := measure("telemetry/predict_plain", len(test), 1, warmup, runs, plain)
+		in := measure("telemetry/predict_instrumented", len(test), 1, warmup, runs, instrumented)
+		if round == 0 || b.NsPerOp < base.NsPerOp {
+			base = b
+		}
+		if round == 0 || in.NsPerOp < instr.NsPerOp {
+			instr = in
+		}
+	}
+	rep.Results = append(rep.Results, base, instr)
+
+	overheadPct = (instr.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	fmt.Fprintf(os.Stderr, "bench: telemetry overhead %.2f%% (%.0f → %.0f ns/op), %.2f allocs/op instrumented\n",
+		overheadPct, base.NsPerOp, instr.NsPerOp, instr.AllocsPerOp)
+	return overheadPct, instr.AllocsPerOp
+}

@@ -1,12 +1,15 @@
 // Command daced serves a trained DACE model over HTTP for query
 // performance prediction, with the full serving pipeline on by default:
-// plan-fingerprint caching, request coalescing, and dynamic micro-batching.
+// plan-fingerprint caching, request coalescing, dynamic micro-batching, and
+// Prometheus metrics on GET /metrics.
 //
 //	daced -model dace.json -addr :8080
 //	daced -model dace.json -cache-size 0 -max-batch 1   # raw per-request inference
+//	daced -version                                      # build info and exit
 //	curl -XPOST localhost:8080/predict --data-binary @plan.json
 //	curl -XPOST 'localhost:8080/predict?format=pg' --data-binary @explain.json
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
 //
 // Online adaptation (off unless -feedback-log or -model-dir is set):
 //
@@ -29,7 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-pprof listener only)
 	"os"
@@ -41,6 +44,8 @@ import (
 	"dace/internal/core"
 	"dace/internal/feedback"
 	"dace/internal/serve"
+	"dace/internal/telemetry"
+	"dace/internal/version"
 )
 
 func main() {
@@ -54,6 +59,9 @@ func main() {
 	maxWait := flag.Duration("max-wait", 200*time.Microsecond, "max time a queued request waits for its batch to fill")
 	queueDepth := flag.Int("queue-depth", 4096, "bounded request queue feeding the batcher (0 = 8*max-batch); full queue answers 503")
 	pprofAddr := flag.String("pprof", "", "if set (e.g. localhost:6060), serve net/http/pprof on this address")
+	metricsOn := flag.Bool("metrics", true, "instrument the pipeline and serve Prometheus metrics on GET /metrics")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	showVersion := flag.Bool("version", false, "print build info and exit")
 	feedbackLog := flag.String("feedback-log", "", "append-only feedback log for crash-safe replay (empty disables durability)")
 	adaptInterval := flag.Duration("adapt-interval", 0, "timer between background adaptation attempts (0 = drift/manual triggers only)")
 	adaptMinSamples := flag.Int("adapt-min-samples", 256, "replay-buffer floor before a fine-tune may run")
@@ -61,16 +69,37 @@ func main() {
 	modelDir := flag.String("model-dir", "", "directory for versioned promoted-model artifacts (empty keeps promotions in memory only)")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("daced " + version.Get().String())
+		return
+	}
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daced:", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
+		version.Register(reg)
+	}
+
 	m := core.NewModel(core.DefaultConfig())
 	if *lora {
 		m.EnableLoRA()
 	}
 	f, err := os.Open(*modelPath)
 	if err != nil {
-		log.Fatalf("daced: %v", err)
+		fatal("open model", "err", err)
 	}
 	if err := m.Load(f); err != nil {
-		log.Fatalf("daced: %v", err)
+		fatal("load model", "err", err, "path", *modelPath)
 	}
 	f.Close()
 
@@ -79,10 +108,10 @@ func main() {
 	servedVersion := 0
 	if *modelDir != "" {
 		if cur, v, err := adapt.LoadCurrent(*modelDir); err == nil {
-			log.Printf("daced: resuming from promoted model v%d in %s", v, *modelDir)
+			logger.Info("resuming from promoted model", "version", v, "dir", *modelDir)
 			m, servedVersion = cur, v
 		} else if !errors.Is(err, fs.ErrNotExist) {
-			log.Fatalf("daced: model dir: %v", err)
+			fatal("model dir", "err", err)
 		}
 	}
 
@@ -90,8 +119,10 @@ func main() {
 		// The profiling endpoints stay off the service mux: they bind a
 		// separate (typically loopback) listener and are absent by default.
 		go func() {
-			log.Printf("daced: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+			logger.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fatal("pprof listener", "err", err)
+			}
 		}()
 	}
 
@@ -101,6 +132,7 @@ func main() {
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		QueueDepth: *queueDepth,
+		Metrics:    reg,
 	})
 	s.Workers = *workers
 
@@ -113,7 +145,7 @@ func main() {
 		if *feedbackLog != "" {
 			flog, err = feedback.Open(*feedbackLog)
 			if err != nil {
-				log.Fatalf("daced: feedback log: %v", err)
+				fatal("feedback log", "err", err)
 			}
 			defer flog.Close()
 			n, err := flog.Replay(func(smp feedback.Sample) error {
@@ -121,20 +153,25 @@ func main() {
 				return nil
 			})
 			if err != nil {
-				log.Fatalf("daced: feedback replay: %v", err)
+				fatal("feedback replay", "err", err)
 			}
 			if n > 0 {
-				log.Printf("daced: replayed %d feedback samples (%d resident)", n, store.Len())
+				logger.Info("replayed feedback log", "samples", n, "resident", store.Len())
 			}
 		}
+		feedback.RegisterMetrics(reg, store, flog)
 		ctl = adapt.New(s, store, flog, adapt.Config{
 			Interval:       *adaptInterval,
 			MinSamples:     *adaptMinSamples,
 			Gate:           *adaptGate,
 			DriftThreshold: 2.0,
 			ModelDir:       *modelDir,
+			Logger:         logger.With("component", "adapt"),
 		})
 		ctl.SetVersion(servedVersion)
+		if reg != nil {
+			ctl.EnableMetrics(reg)
+		}
 		s.Feedback = ctl
 		s.Adapt = ctl
 		ctl.Start()
@@ -143,8 +180,10 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("daced: serving %s on %s (cache=%d batch=%d wait=%s queue=%d adapt=%v)\n",
-		*modelPath, *addr, *cacheSize, *maxBatch, *maxWait, *queueDepth, adaptOn)
+	logger.Info("serving",
+		"model", *modelPath, "addr", *addr, "version", version.Get().Version,
+		"cache", *cacheSize, "batch", *maxBatch, "wait", *maxWait,
+		"queue", *queueDepth, "adapt", adaptOn, "metrics", *metricsOn)
 
 	// Graceful shutdown: stop accepting, let in-flight requests finish,
 	// then drain the micro-batcher so every queued prediction is answered.
@@ -152,10 +191,10 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("daced: %s — draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("daced: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		cancel()
 		s.Close()
@@ -164,9 +203,25 @@ func main() {
 			// before the deferred Close tears the file down.
 			ctl.Stop()
 		}
+		logger.Info("drained")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("daced: %v", err)
+			fatal("listen", "err", err)
 		}
 	}
+}
+
+// newLogger builds the process logger: human-oriented text (default) or
+// line-delimited JSON for log shippers.
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+	return slog.New(h).With("app", "daced"), nil
 }

@@ -10,6 +10,7 @@ package adapt
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"dace/internal/core"
 	"dace/internal/feedback"
 	"dace/internal/metrics"
+	"dace/internal/nn"
 	"dace/internal/plan"
 )
 
@@ -57,6 +59,9 @@ type Config struct {
 	ModelDir string
 	// Seed drives the train/holdout shuffle (default 1).
 	Seed int64
+	// Logger, when set, emits structured promote/reject/error/rollback
+	// events. Nil keeps the controller silent (status is still queryable).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +155,11 @@ type Controller struct {
 	kick chan struct{} // drift/manual wakeups for the background loop
 	stop chan struct{}
 	done chan struct{}
+
+	// hooks, when set by EnableMetrics before Start, is installed on every
+	// fine-tune candidate so training epochs report loss/throughput/
+	// utilization. Written only during wiring; read by RunOnce.
+	hooks nn.TrainHooks
 }
 
 // New builds a controller adapting host from store. log may be nil; when
@@ -273,6 +283,9 @@ func (c *Controller) recordError(err error) {
 	c.mu.Lock()
 	c.last = &Outcome{Reason: "error: " + err.Error()}
 	c.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Error("adapt attempt failed", "err", err)
+	}
 }
 
 // ErrTooFewSamples is returned by RunOnce when the replay buffer has not
@@ -364,6 +377,7 @@ func (c *Controller) RunOnce() (*Outcome, error) {
 	if !candidate.LoRAEnabled() {
 		candidate.EnableLoRA()
 	}
+	candidate.Hooks = c.hooks // nil unless EnableMetrics wired instruments
 	t0 := time.Now()
 	candidate.FineTuneLoRA(trainPlans, c.cfg.LR, c.cfg.Epochs)
 	trainMS := float64(time.Since(t0)) / float64(time.Millisecond)
@@ -392,6 +406,12 @@ func (c *Controller) RunOnce() (*Outcome, error) {
 		c.rejects++
 		c.last = out
 		c.mu.Unlock()
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("adapt gate rejected candidate",
+				"samples", out.Samples, "holdout", out.Holdout, "train_ms", out.TrainMS,
+				"before_median", before.Median, "after_median", after.Median,
+				"before_p90", before.P90, "after_p90", after.P90)
+		}
 		return out, nil
 	}
 
@@ -420,6 +440,13 @@ func (c *Controller) RunOnce() (*Outcome, error) {
 	c.next = 0
 	c.filled = false
 	c.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("adapt promoted candidate",
+			"version", out.Version, "samples", out.Samples, "holdout", out.Holdout,
+			"train_ms", out.TrainMS,
+			"before_median", before.Median, "after_median", after.Median,
+			"before_p90", before.P90, "after_p90", after.P90)
+	}
 	return out, nil
 }
 
@@ -448,6 +475,9 @@ func (c *Controller) Rollback() (int, error) {
 	c.next = 0
 	c.filled = false
 	c.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("adapt rolled back", "version", v)
+	}
 	return v, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dace/internal/featurize"
 	"dace/internal/nn"
@@ -80,6 +81,12 @@ type Model struct {
 	Gamma *nn.Param
 	// lora holds the adapters after EnableLoRA; nil during pre-training.
 	lora []*nn.LoRADense
+
+	// Hooks, when non-nil, observes the training loop (per-epoch loss,
+	// throughput, worker utilization). Nil — the default, and what Clone
+	// resets to — keeps fit exactly as cheap as before: no timestamps, no
+	// loss aggregation, no allocations. Set it before Train/FineTuneLoRA.
+	Hooks nn.TrainHooks
 }
 
 // NewModel builds an untrained DACE with freshly initialized weights; the
@@ -263,6 +270,10 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 	params := m.Params()
 	opt := nn.NewAdam(params, lr)
 	pool := nn.NewGradPool(params, m.Cfg.Workers)
+	// Instrumentation is armed only when hooks are installed; the nil-hook
+	// path skips every timestamp and accumulation below.
+	hooks := m.Hooks
+	pool.Timing = hooks != nil
 	rng := rand.New(rand.NewSource(m.Cfg.Seed + 7))
 	order := rng.Perm(len(encoded))
 	batch := m.Cfg.BatchSize
@@ -270,6 +281,11 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 		batch = 16
 	}
 	for e := 0; e < epochs; e++ {
+		var epochLoss float64
+		var epochStart time.Time
+		if hooks != nil {
+			epochStart = time.Now()
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for b := 0; b < len(order); b += batch {
 			end := b + batch
@@ -277,15 +293,38 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 				end = len(order)
 			}
 			idxs := order[b:end]
-			pool.Accumulate(len(idxs), func(t *nn.Tape, i int) *nn.Node {
+			loss := pool.Accumulate(len(idxs), func(t *nn.Tape, i int) *nn.Node {
 				var h *nn.Matrix
 				if cached != nil {
 					h = cached[idxs[i]]
 				}
 				return m.loss(t, encoded[idxs[i]], h)
 			})
+			if hooks != nil {
+				epochLoss += loss
+			}
 			nn.ClipGradNorm(params, 5)
 			opt.Step()
+		}
+		if hooks != nil {
+			dur := time.Since(epochStart)
+			util := 0.0
+			if dur > 0 && pool.WorkerCount() > 0 {
+				util = float64(pool.TakeBusy()) / (float64(dur) * float64(pool.WorkerCount()))
+				if util > 1 {
+					util = 1
+				}
+			}
+			mean := 0.0
+			if len(encoded) > 0 {
+				mean = epochLoss / float64(len(encoded))
+			}
+			hooks.EpochDone(e, nn.EpochStats{
+				Plans:             len(encoded),
+				Loss:              mean,
+				Duration:          dur,
+				WorkerUtilization: util,
+			})
 		}
 	}
 }

@@ -28,6 +28,17 @@ type Log struct {
 	f    *os.File
 	path string
 	buf  []byte
+
+	bytes     int64  // current log size (valid at Open + appended frames)
+	appended  uint64 // records appended since Open
+	truncated int64  // torn-tail bytes trimmed by Open
+}
+
+// LogStats is a point-in-time snapshot of the log counters.
+type LogStats struct {
+	Bytes     int64  `json:"bytes"`     // current on-disk size
+	Appended  uint64 `json:"appended"`  // records appended since Open
+	Truncated int64  `json:"truncated"` // torn-tail bytes trimmed at Open
 }
 
 // maxRecordSize bounds one framed payload; a length field beyond it marks
@@ -55,6 +66,10 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	torn := int64(0)
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		torn = fi.Size() - valid
+	}
 	if err := f.Truncate(valid); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("feedback: truncate torn tail: %w", err)
@@ -63,7 +78,7 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, path: path}, nil
+	return &Log{f: f, path: path, bytes: valid, truncated: torn}, nil
 }
 
 // scanValid returns the byte offset of the last intact frame boundary.
@@ -120,7 +135,16 @@ func (l *Log) Append(smp Sample) error {
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("feedback: append: %w", err)
 	}
+	l.bytes += int64(len(l.buf))
+	l.appended++
 	return nil
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{Bytes: l.bytes, Appended: l.appended, Truncated: l.truncated}
 }
 
 // Sync flushes appended records to stable storage.

@@ -1,0 +1,98 @@
+package feedback
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dace/internal/telemetry"
+)
+
+// TestLogStats checks the log counters: bytes track the on-disk size
+// exactly, appends count, and a torn tail surfaces as truncated bytes on
+// the next Open.
+func TestLogStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "feedback.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 7)
+	st := l.Stats()
+	if st.Appended != 7 {
+		t.Fatalf("appended %d, want 7", st.Appended)
+	}
+	fi, _ := os.Stat(path)
+	if st.Bytes != fi.Size() {
+		t.Fatalf("stats bytes %d, file %d", st.Bytes, fi.Size())
+	}
+	if st.Truncated != 0 {
+		t.Fatalf("truncated %d on a clean log", st.Truncated)
+	}
+	l.Close()
+
+	// Tear the tail; Open must report exactly the trimmed byte count.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte{0x01, 0x02, 0x03, 0x04, 0x05}
+	f.Write(garbage)
+	f.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st2 := l2.Stats()
+	if st2.Truncated != int64(len(garbage)) {
+		t.Fatalf("truncated %d bytes, want %d", st2.Truncated, len(garbage))
+	}
+	if st2.Appended != 0 {
+		t.Fatalf("appended %d after reopen, want 0", st2.Appended)
+	}
+	if fi2, _ := os.Stat(path); st2.Bytes != fi2.Size() {
+		t.Fatalf("stats bytes %d, file %d", st2.Bytes, fi2.Size())
+	}
+}
+
+// TestRegisterMetrics wires store and log into a registry and checks the
+// families land in the exposition with live values.
+func TestRegisterMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "feedback.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	store := NewStore(4, 1)
+	RegisterMetrics(telemetry.NewRegistry(), nil, nil) // nil store: no-op
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, store, l)
+
+	for i := 0; i < 6; i++ {
+		smp := Sample{Plan: testPlan(i), ActualMS: float64(i + 1)}
+		store.Add(smp)
+		if err := l.Append(smp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"dace_feedback_replay_capacity 4",
+		"dace_feedback_offered_total 6",
+		"dace_feedback_log_records_total 6",
+		"dace_feedback_log_truncated_bytes 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package nn
+
+import "time"
+
+// EpochStats is what the training loop reports per epoch when hooks are
+// installed. Passed by value — installing hooks must not make the fit loop
+// allocate.
+type EpochStats struct {
+	// Plans is the number of training plans visited this epoch.
+	Plans int
+	// Loss is the mean per-plan training loss over the epoch (the same
+	// normalized Eq. 7 quantity the optimizer descends).
+	Loss float64
+	// Duration is the epoch wall time.
+	Duration time.Duration
+	// WorkerUtilization is the fraction of the gradient pool's worker
+	// capacity that was busy computing forward/backward passes: 1.0 means
+	// every worker was saturated, low values mean the epoch was dominated
+	// by stragglers or reduction. In [0, 1].
+	WorkerUtilization float64
+}
+
+// TrainHooks observes the training loop. Implementations must be cheap —
+// EpochDone is called once per epoch from the fit loop — and must not
+// retain the stats past the call. A nil hook costs the loop nothing: the
+// instrumentation (timestamps, busy-time accounting) is skipped entirely,
+// keeping the hot path allocation-clean and branch-predictable.
+type TrainHooks interface {
+	EpochDone(epoch int, s EpochStats)
+}

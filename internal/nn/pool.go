@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a worker-count knob: values <= 0 mean "one worker per
@@ -73,6 +74,16 @@ type GradPool struct {
 	// leafFns[item] is the SetLeafGrads redirect into that item's shard,
 	// built once in grow so steady-state Accumulate calls allocate nothing.
 	leafFns []func(p *Param) *Matrix
+	// losses[item] is that item's loss value from the last Accumulate,
+	// summed in fixed item order so the returned total is deterministic.
+	losses []float64
+
+	// Timing, when set (the fit loop sets it only when TrainHooks are
+	// installed), makes Accumulate meter per-item busy time so worker
+	// utilization can be reported. Off by default: two time.Now calls per
+	// minibatch item are cheap but not free.
+	Timing bool
+	busyNS atomic.Int64
 }
 
 // NewGradPool builds a pool over params. workers <= 0 selects
@@ -100,8 +111,19 @@ func (g *GradPool) grow(n int) {
 			}
 			return nil
 		})
+		g.losses = append(g.losses, 0)
 	}
 }
+
+// TakeBusy returns the busy time metered since the last call (zero unless
+// Timing is set) and resets the meter. The fit loop drains it once per
+// epoch to compute worker utilization.
+func (g *GradPool) TakeBusy() time.Duration {
+	return time.Duration(g.busyNS.Swap(0))
+}
+
+// WorkerCount reports the resolved pool width.
+func (g *GradPool) WorkerCount() int { return g.workers }
 
 // Accumulate runs lossFn for every item in [0, n) — forward and backward on
 // a per-item tape whose parameter gradients land in that item's shard — and
@@ -109,12 +131,21 @@ func (g *GradPool) grow(n int) {
 // like serial Backward calls would). lossFn must build the graph on the
 // given tape and return its scalar loss node; it is called concurrently and
 // must not mutate shared state.
-func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) {
+//
+// The returned value is the sum of the per-item losses, added in fixed item
+// order — deterministic for any worker count, like the gradients — so the
+// training loop can report epoch loss without a second forward pass.
+func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) float64 {
 	if n <= 0 {
-		return
+		return 0
 	}
 	g.grow(n)
+	timing := g.Timing
 	ParallelFor(n, g.workers, func(i int) {
+		var t0 time.Time
+		if timing {
+			t0 = time.Now()
+		}
 		bufs := g.shards[i]
 		for _, b := range bufs {
 			b.Zero()
@@ -122,7 +153,12 @@ func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) {
 		t := g.tapes[i]
 		t.Reset()
 		t.SetLeafGrads(g.leafFns[i])
-		t.Backward(lossFn(t, i))
+		loss := lossFn(t, i)
+		t.Backward(loss)
+		g.losses[i] = loss.Value.Data[0]
+		if timing {
+			g.busyNS.Add(int64(time.Since(t0)))
+		}
 	})
 	// Deterministic reduction: fixed param-then-item order, independent of
 	// which worker computed what when.
@@ -131,4 +167,9 @@ func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) {
 			AddInPlace(p.Grad, g.shards[s][pi])
 		}
 	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += g.losses[i]
+	}
+	return total
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dace/internal/plan"
+	"dace/internal/telemetry"
 )
 
 // batcher is the dynamic micro-batching stage: /predict cache misses
@@ -36,18 +37,29 @@ type batcher struct {
 	batches  atomic.Uint64
 	requests atomic.Uint64
 	rejected atomic.Uint64
+
+	// Telemetry histograms, wired by newServerMetrics between newBatcher and
+	// start — never written once the loop goroutine is running. Nil when
+	// telemetry is off; run/submit then skip the timestamps entirely.
+	sizeHist *telemetry.Histogram
+	waitHist *telemetry.Histogram
 }
 
 // batchReq is one queued request; done is closed once preds/err are set.
+// enq is the submit timestamp, set only when queue-wait telemetry is on.
 type batchReq struct {
 	p     *plan.Plan
 	preds []float64
 	err   error
 	done  chan struct{}
+	enq   time.Time
 }
 
+// newBatcher builds the stage but does not start it — the caller wires any
+// telemetry first, then calls start. Nothing can enqueue before start
+// because the Server isn't handed out until NewWithConfig returns.
 func newBatcher(srv *Server, maxBatch int, maxWait time.Duration, depth int) *batcher {
-	b := &batcher{
+	return &batcher{
 		srv:      srv,
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
@@ -55,14 +67,18 @@ func newBatcher(srv *Server, maxBatch int, maxWait time.Duration, depth int) *ba
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	go b.loop()
-	return b
 }
+
+// start launches the collector goroutine.
+func (b *batcher) start() { go b.loop() }
 
 // submit enqueues a plan and blocks until its batch has run. It never
 // blocks on a full queue — that is the backpressure signal.
 func (b *batcher) submit(p *plan.Plan) ([]float64, error) {
 	r := &batchReq{p: p, done: make(chan struct{})}
+	if b.waitHist != nil {
+		r.enq = time.Now()
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -169,9 +185,18 @@ func (b *batcher) run(reqs []*batchReq) {
 	for i, r := range reqs {
 		plans[i] = r.p
 	}
+	if b.waitHist != nil {
+		now := time.Now()
+		for _, r := range reqs {
+			b.waitHist.Observe(now.Sub(r.enq).Seconds())
+		}
+	}
 	outs := b.srv.Model().PredictSubPlansBatch(plans, b.srv.Workers)
 	b.batches.Add(1)
 	b.requests.Add(uint64(len(reqs)))
+	if b.sizeHist != nil {
+		b.sizeHist.Observe(float64(len(reqs)))
+	}
 	for i, r := range reqs {
 		r.preds = outs[i]
 		close(r.done)

@@ -54,8 +54,7 @@ type feedbackResponse struct {
 
 // handleFeedback ingests one (plan, actual latency) observation.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -96,6 +95,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.Feedback.Observe(p, req.ActualMS, req.PredictedMS)
+	if s.tel != nil {
+		s.tel.feedback.Inc()
+	}
 
 	resp := feedbackResponse{Accepted: true, PredictedMS: req.PredictedMS}
 	if req.PredictedMS > 0 {
@@ -111,8 +113,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 
 // handleAdaptStatus serves the controller's introspection document.
 func (s *Server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, s.Adapt.Status())
@@ -122,8 +123,7 @@ func (s *Server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
 // controller (one already in flight) is 409; any other refusal is 409 with
 // the reason in the body; success returns the gate's outcome document.
 func (s *Server) handleAdaptTrigger(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
 	out, err := s.Adapt.Trigger()

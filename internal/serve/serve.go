@@ -40,6 +40,8 @@ import (
 	"dace/internal/pgexplain"
 	"dace/internal/plan"
 	"dace/internal/servecache"
+	"dace/internal/telemetry"
+	"dace/internal/version"
 )
 
 // Request-body ceilings: a malformed or hostile client must not make the
@@ -77,6 +79,12 @@ type Config struct {
 	// QueueDepth bounds the request queue feeding the batcher (0 = 8×
 	// MaxBatch). A full queue fails fast: 503 with Retry-After.
 	QueueDepth int
+	// Metrics, when non-nil, instruments the pipeline into the registry
+	// (per-endpoint request counts and latency histograms, cache and
+	// batcher collectors) and enables GET /metrics with the Prometheus
+	// text exposition. Nil leaves every hot path uninstrumented — not even
+	// a wrapper frame is added.
+	Metrics *telemetry.Registry
 }
 
 // Server wraps a model with HTTP handlers. The model can be swapped at
@@ -101,6 +109,7 @@ type Server struct {
 	preds  *servecache.Cache[[]float64] // plan fingerprint → DFS predictions
 	bodies *servecache.Cache[[]byte]    // request bytes → response bytes
 	bat    *batcher
+	tel    *serverMetrics // nil when Config.Metrics is nil
 }
 
 // New builds a server with the pipeline disabled — every request runs its
@@ -125,6 +134,14 @@ func NewWithConfig(m *core.Model, cfg Config) *Server {
 			depth = 8 * cfg.MaxBatch
 		}
 		s.bat = newBatcher(s, cfg.MaxBatch, wait, depth)
+	}
+	// Wire telemetry before the batcher loop starts: its histogram fields
+	// must never be written concurrently with a running collector.
+	if cfg.Metrics != nil {
+		s.tel = newServerMetrics(s, cfg.Metrics)
+	}
+	if s.bat != nil {
+		s.bat.start()
 	}
 	return s
 }
@@ -164,17 +181,32 @@ func (s *Server) Model() *core.Model {
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
+	mux.HandleFunc("/predict/batch", s.instrument("/predict/batch", s.handlePredictBatch))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
 	if s.Feedback != nil {
-		mux.HandleFunc("/feedback", s.handleFeedback)
+		mux.HandleFunc("/feedback", s.instrument("/feedback", s.handleFeedback))
 	}
 	if s.Adapt != nil {
-		mux.HandleFunc("/adapt/status", s.handleAdaptStatus)
-		mux.HandleFunc("/adapt/trigger", s.handleAdaptTrigger)
+		mux.HandleFunc("/adapt/status", s.instrument("/adapt/status", s.handleAdaptStatus))
+		mux.HandleFunc("/adapt/trigger", s.instrument("/adapt/trigger", s.handleAdaptTrigger))
+	}
+	if s.tel != nil {
+		mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	}
 	return mux
+}
+
+// allowOnly enforces a single-method endpoint: a mismatched request gets 405
+// with an Allow header naming the one accepted method (RFC 9110 §15.5.6
+// requires Allow on 405). Returns true when the request may proceed.
+func allowOnly(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	http.Error(w, method+" required", http.StatusMethodNotAllowed)
+	return false
 }
 
 // Prediction is the /predict response.
@@ -294,8 +326,7 @@ func predictionOf(m *core.Model, p *plan.Plan) Prediction {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -363,8 +394,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // server's worker pool in input order. The response is a JSON array of
 // Prediction documents in input order.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -442,6 +472,7 @@ func (s *Server) batchPreds(plans []*plan.Plan) [][]float64 {
 // only when the corresponding pipeline stage is enabled.
 type Health struct {
 	Status      string            `json:"status"`
+	Build       version.Info      `json:"build"`
 	Parameters  int               `json:"parameters"`
 	SizeMB      float64           `json:"size_mb"`
 	LoRAEnabled bool              `json:"lora_enabled"`
@@ -461,13 +492,13 @@ type QueueStats struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodGet) {
 		return
 	}
 	m := s.Model()
 	h := Health{
 		Status:      "ok",
+		Build:       version.Get(),
 		Parameters:  nn.NumParams(m.Params()),
 		SizeMB:      nn.SizeMB(m.Params()),
 		LoRAEnabled: m.LoRAEnabled(),

@@ -1,0 +1,6 @@
+//go:build !race
+
+package telemetry
+
+// AllocsPerRun guards are only meaningful without it.
+const raceEnabled = false

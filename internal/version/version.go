@@ -1,0 +1,91 @@
+// Package version carries the daemon's build identity: an ldflags-settable
+// semantic version plus whatever the Go toolchain stamped into the binary
+// (go version, VCS revision, dirty flag). It feeds `daced -version`, the
+// /healthz build block, and the dace_build_info metric.
+package version
+
+import (
+	"runtime/debug"
+	"sync"
+
+	"dace/internal/telemetry"
+)
+
+// Version identifies the build. Override at link time:
+//
+//	go build -ldflags "-X dace/internal/version.Version=v1.2.3" ./cmd/daced
+var Version = "dev"
+
+// Info is the resolved build identity, JSON-shaped for /healthz.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"` // VCS tree was dirty
+	BuildTime string `json:"build_time,omitempty"`
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get resolves the build info once (debug.ReadBuildInfo walks the binary's
+// embedded module data, so cache it) and returns it.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: Version}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		info.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			case "vcs.time":
+				info.BuildTime = s.Value
+			}
+		}
+	})
+	return info
+}
+
+// String renders the one-line `daced -version` output.
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Modified {
+			rev += "-dirty"
+		}
+		s += " (" + rev + ")"
+	}
+	if i.GoVersion != "" {
+		s += " " + i.GoVersion
+	}
+	return s
+}
+
+// Register exposes the build as the conventional constant-1 info gauge:
+//
+//	dace_build_info{version="dev",go_version="go1.22",revision="..."} 1
+func Register(reg *telemetry.Registry) {
+	i := Get()
+	rev := i.Revision
+	if i.Modified {
+		rev += "-dirty"
+	}
+	reg.GaugeFunc("dace_build_info",
+		"Build identity; the value is always 1, the labels carry the info.",
+		func() float64 { return 1 },
+		telemetry.Label{Name: "version", Value: i.Version},
+		telemetry.Label{Name: "go_version", Value: i.GoVersion},
+		telemetry.Label{Name: "revision", Value: rev})
+}
