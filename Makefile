@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages that gained concurrency (worker-pool training / batch inference,
-# pooled tapes and scratch encoders) and must stay clean under the race
-# detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/serve ./internal/servecache ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry
+# pooled tapes and scratch encoders, pooled wire decoders) and must stay
+# clean under the race detector.
+RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry
 
 .PHONY: all fmt vet build test race bench ci
 
@@ -37,7 +37,7 @@ bench:
 # single-core runners jitter ~±30%, and the gate is for catching real
 # regressions, not scheduler noise.
 bench-check:
-	$(GO) run ./cmd/bench -quick -out /tmp/dace-bench-check.json -baseline BENCH_2026-08-06.json -check -max-regress 35
+	$(GO) run ./cmd/bench -quick -out /tmp/dace-bench-check.json -baseline BENCH_2026-08-08.json -check -max-regress 35
 
 # The raw go-test benchmarks (heavier; regenerates paper artifacts too with
 # `-bench .`).

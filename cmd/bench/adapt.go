@@ -59,7 +59,7 @@ func benchAdapt(rep *Report, m *core.Model, plans []*plan.Plan, quick bool, warm
 	pair := [2]*core.Model{m, candidate}
 	rep.Results = append(rep.Results, measure("adapt/swap", 256, 1, warmup, runs,
 		func(i int) {
-			postOnce(s, warmBody) // put something in the caches to flush
+			postOnce(s, warmBody, "application/json") // put something in the caches to flush
 			s.SetModel(pair[i%2])
 		}))
 	s.Close()

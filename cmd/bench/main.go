@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"dace/internal/core"
 	"dace/internal/dataset"
 	"dace/internal/executor"
+	"dace/internal/plan"
 	"dace/internal/schema"
 )
 
@@ -195,6 +197,43 @@ func main() {
 	predsBuf := make([]float64, 0, 256)
 	rep.Results = append(rep.Results, measure("predict_subplans_append", len(test), 1, *warmup, *runs,
 		func(i int) { predsBuf = m.AppendPredictSubPlans(predsBuf[:0], test[i]) }))
+
+	// Wire-decode microbenchmarks over the test plans: the tree decoder the
+	// legacy path materializes, the streaming flat decoder, and the compact
+	// binary frame decoder. These isolate parsing from inference.
+	jsonBodies := make([][]byte, len(test))
+	binBodies := make([][]byte, len(test))
+	for i, p := range test {
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			log.Fatalf("bench: encode plan: %v", err)
+		}
+		jsonBodies[i] = append([]byte(nil), buf.Bytes()...)
+		bin, err := plan.AppendBinary(nil, p)
+		if err != nil {
+			log.Fatalf("bench: encode binary plan: %v", err)
+		}
+		binBodies[i] = bin
+	}
+	rep.Results = append(rep.Results, measure("decode/json_tree", len(test), 1, *warmup, *runs,
+		func(i int) {
+			if _, err := plan.ReadJSON(bytes.NewReader(jsonBodies[i])); err != nil {
+				log.Fatalf("bench: decode/json_tree: %v", err)
+			}
+		}))
+	var dec plan.Decoder
+	rep.Results = append(rep.Results, measure("decode/json_stream", len(test), 1, *warmup, *runs,
+		func(i int) {
+			if _, err := dec.Decode(jsonBodies[i]); err != nil {
+				log.Fatalf("bench: decode/json_stream: %v", err)
+			}
+		}))
+	rep.Results = append(rep.Results, measure("decode/binary_stream", len(test), 1, *warmup, *runs,
+		func(i int) {
+			if _, err := dec.DecodeBinary(binBodies[i]); err != nil {
+				log.Fatalf("bench: decode/binary_stream: %v", err)
+			}
+		}))
 
 	// Telemetry overhead: instrumented vs uninstrumented Predict, gated
 	// below under -check (0 allocs, <5% latency).

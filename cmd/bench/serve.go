@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -24,10 +25,11 @@ import (
 // hit rate (fraction of requests drawn from a small hot set of repeated
 // plans), and the pipeline configuration under test.
 type serveCase struct {
-	name string
-	conc int
-	hit  float64
-	cfg  serve.Config // zero value = the uncached, unbatched PR 2 server
+	name   string
+	conc   int
+	hit    float64
+	cfg    serve.Config // zero value = the uncached, unbatched PR 2 server
+	binary bool         // post compact binary frames instead of JSON bodies
 }
 
 // cachedConfig mirrors daced's defaults at bench scale.
@@ -41,22 +43,27 @@ func cachedConfig() serve.Config {
 }
 
 // serveCases is the scenario grid: the uncached baseline and the full
-// pipeline at matching concurrency, plus a hit-rate sweep at c=64. Quick
-// mode keeps only the acceptance pair (c=64, 90% repeated plans).
+// pipeline at matching concurrency, a hit-rate sweep at c=64, and the
+// binary-wire variants. Quick mode keeps the acceptance pairs: c=64 at 90%
+// repeated plans plus the hot-cache point (hit=99) on both encodings.
 func serveCases(quick bool) []serveCase {
 	if quick {
 		return []serveCase{
-			{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}},
-			{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig()},
+			{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}, false},
+			{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig(), false},
+			{"serve/cached/c=64/hit=99", 64, 0.99, cachedConfig(), false},
+			{"serve/cached-bin/c=64/hit=99", 64, 0.99, cachedConfig(), true},
 		}
 	}
 	return []serveCase{
-		{"serve/uncached/c=16/hit=90", 16, 0.90, serve.Config{}},
-		{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}},
-		{"serve/cached/c=16/hit=90", 16, 0.90, cachedConfig()},
-		{"serve/cached/c=64/hit=50", 64, 0.50, cachedConfig()},
-		{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig()},
-		{"serve/cached/c=64/hit=99", 64, 0.99, cachedConfig()},
+		{"serve/uncached/c=16/hit=90", 16, 0.90, serve.Config{}, false},
+		{"serve/uncached/c=64/hit=90", 64, 0.90, serve.Config{}, false},
+		{"serve/cached/c=16/hit=90", 16, 0.90, cachedConfig(), false},
+		{"serve/cached/c=64/hit=50", 64, 0.50, cachedConfig(), false},
+		{"serve/cached/c=64/hit=90", 64, 0.90, cachedConfig(), false},
+		{"serve/cached/c=64/hit=99", 64, 0.99, cachedConfig(), false},
+		{"serve/cached-bin/c=64/hit=90", 64, 0.90, cachedConfig(), true},
+		{"serve/cached-bin/c=64/hit=99", 64, 0.99, cachedConfig(), true},
 	}
 }
 
@@ -110,6 +117,32 @@ func (w *workload) bodies(n int, hit float64, seed int64) [][]byte {
 	return out
 }
 
+// binary converts a JSON request sequence into compact binary wire frames,
+// memoizing by slice identity so the repeated hot bodies convert once and
+// keep byte-identical frames (and therefore identical body-cache keys).
+func (w *workload) binary(bodies [][]byte) [][]byte {
+	memo := make(map[*byte][]byte)
+	out := make([][]byte, len(bodies))
+	for i, b := range bodies {
+		k := &b[0]
+		if enc, ok := memo[k]; ok {
+			out[i] = enc
+			continue
+		}
+		p, err := plan.ReadJSON(bytes.NewReader(b))
+		if err != nil {
+			log.Fatalf("bench: decode plan for binary frame: %v", err)
+		}
+		enc, err := plan.AppendBinary(nil, p)
+		if err != nil {
+			log.Fatalf("bench: encode binary frame: %v", err)
+		}
+		memo[k] = enc
+		out[i] = enc
+	}
+	return out
+}
+
 // benchServe measures end-to-end /predict throughput and latency through
 // httptest servers — real HTTP over loopback, concurrent clients — for
 // every scenario, verifying first that the pipeline's responses are
@@ -132,7 +165,18 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        sc.conc * 2,
 			MaxIdleConnsPerHost: sc.conc * 2,
+			DisableCompression:  true, // no Accept-Encoding header; responses are never gzipped here
 		}}
+		contentType := "application/json"
+		if sc.binary {
+			contentType = plan.BinaryContentType
+		}
+		// The URL is parsed once, outside the loop: the harness times request
+		// serving, not client-side URL parsing on every Post.
+		target, err := url.Parse(srv.URL + "/predict")
+		if err != nil {
+			log.Fatalf("bench: %s: %v", sc.name, err)
+		}
 		run := func(bodies [][]byte, record []float64) {
 			var next atomic.Int64
 			var wg sync.WaitGroup
@@ -140,13 +184,28 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					// Per-goroutine header, reused across requests. User-Agent nil
+					// suppresses the default Go-http-client header entirely —
+					// fewer bytes for the server under test to parse.
+					hdr := http.Header{"Content-Type": []string{contentType}, "User-Agent": nil}
 					for {
 						i := int(next.Add(1)) - 1
 						if i >= len(bodies) {
 							return
 						}
+						body := bodies[i]
 						t0 := time.Now()
-						resp, err := client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(bodies[i]))
+						req := &http.Request{
+							Method: http.MethodPost,
+							URL:    target,
+							Header: hdr,
+							Body:   io.NopCloser(bytes.NewReader(body)),
+							GetBody: func() (io.ReadCloser, error) {
+								return io.NopCloser(bytes.NewReader(body)), nil
+							},
+							ContentLength: int64(len(body)),
+						}
+						resp, err := client.Do(req)
 						if err != nil {
 							log.Fatalf("bench: %s: %v", sc.name, err)
 						}
@@ -164,13 +223,21 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 			wg.Wait()
 		}
 
-		run(w.bodies(n/4, sc.hit, 7), nil) // warmup: fill caches, warm conns
+		// Request sequences are generated (and, for binary scenarios,
+		// re-encoded) before the clock starts: workload generation decodes and
+		// re-encodes every cold plan, which is harness cost, not serving cost.
+		warmBodies := w.bodies(n/4, sc.hit, 7) // warmup: fill caches, warm conns
+		measBodies := w.bodies(n, sc.hit, 11)
+		if sc.binary {
+			warmBodies, measBodies = w.binary(warmBodies), w.binary(measBodies)
+		}
+		run(warmBodies, nil)
 		lat := make([]float64, n)
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		run(w.bodies(n, sc.hit, 11), lat)
+		run(measBodies, lat)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 
@@ -208,23 +275,27 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 // verifyPipeline asserts the serving contract before any timing: for every
 // hot plan and a handful of cold ones, the configured pipeline's response
 // bytes must equal the plain uncached server's — bitwise-identical
-// predictions, not approximately equal ones.
+// predictions, not approximately equal ones — on both wire encodings.
 func verifyPipeline(s *serve.Server, m *core.Model, w *workload) {
 	plain := serve.New(m)
 	probe := append(append([][]byte{}, w.hot...), w.bodies(4, 0, 3)...)
+	bins := w.binary(probe)
 	for i, body := range probe {
+		want := postOnce(plain, body, "application/json")
 		for _, rep := range []int{0, 1} { // second pass hits the cache
-			got := postOnce(s, body)
-			want := postOnce(plain, body)
-			if !bytes.Equal(got, want) {
+			if got := postOnce(s, body, "application/json"); !bytes.Equal(got, want) {
 				log.Fatalf("bench: pipeline response diverged from uncached server (probe %d, pass %d)", i, rep)
+			}
+			if got := postOnce(s, bins[i], plan.BinaryContentType); !bytes.Equal(got, want) {
+				log.Fatalf("bench: binary-wire response diverged from uncached server (probe %d, pass %d)", i, rep)
 			}
 		}
 	}
 }
 
-func postOnce(s *serve.Server, body []byte) []byte {
+func postOnce(s *serve.Server, body []byte, contentType string) []byte {
 	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {

@@ -7,11 +7,15 @@
 //	dace eval     -model dace.json -db imdb -queries 200
 //	dace finetune -model dace.json -dbs airline,walmart -machine M2 -out dace_m2.json
 //	dace predict  -model dace.json -plan plan.json
+//	dace encode   -in plan.json -out plan.bin        (JSON → binary wire)
+//	dace encode   -decode -in plan.bin               (binary wire → JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -39,14 +43,113 @@ func main() {
 		cmdPredict(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
+	case "encode":
+		cmdEncode(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain|encode} [flags]")
 	os.Exit(2)
+}
+
+// cmdEncode converts plans between the JSON document format and the compact
+// binary wire encoding (Content-Type application/x-dace-plan) the server
+// accepts on /predict and /predict/batch.
+func cmdEncode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "-", "input path (default stdin)")
+	out := fs.String("out", "-", "output path (default stdout)")
+	decode := fs.Bool("decode", false, "convert binary back to JSON instead")
+	batch := fs.Bool("batch", false, "input is a JSON array / binary batch frame")
+	fs.Parse(args)
+
+	data, err := readAll(*in)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var dec plan.Decoder
+	switch {
+	case *decode && *batch:
+		bb, err := plan.NewBinaryBatch(data)
+		if err != nil {
+			fatal(err)
+		}
+		io.WriteString(w, "[")
+		for i := 0; bb.Len() > 0; i++ {
+			f, err := bb.Next(&dec)
+			if err != nil {
+				fatal(fmt.Errorf("plan[%d]: %w", i, err))
+			}
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			if err := f.Tree().WriteJSON(w); err != nil {
+				fatal(err)
+			}
+		}
+		io.WriteString(w, "]\n")
+	case *decode:
+		f, err := dec.DecodeBinary(data)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Tree().WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		io.WriteString(w, "\n")
+	case *batch:
+		var raw []json.RawMessage
+		if err := json.Unmarshal(data, &raw); err != nil {
+			fatal(err)
+		}
+		plans := make([]*plan.Plan, len(raw))
+		for i, msg := range raw {
+			f, err := dec.Decode(msg)
+			if err != nil {
+				fatal(fmt.Errorf("plan[%d]: %w", i, err))
+			}
+			plans[i] = f.Tree()
+		}
+		enc, err := plan.AppendBinaryBatch(nil, plans)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(enc); err != nil {
+			fatal(err)
+		}
+	default:
+		f, err := dec.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		enc, err := plan.AppendBinary(nil, f.Tree())
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(enc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }
 
 // cmdExplain generates a workload query against a benchmark database, plans

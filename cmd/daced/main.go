@@ -8,6 +8,8 @@
 //	daced -version                                      # build info and exit
 //	curl -XPOST localhost:8080/predict --data-binary @plan.json
 //	curl -XPOST 'localhost:8080/predict?format=pg' --data-binary @explain.json
+//	curl -XPOST -H 'Content-Type: application/x-dace-plan' \
+//	     localhost:8080/predict --data-binary @plan.bin   # `dace encode` output
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
 //

@@ -456,6 +456,26 @@ func (m *Model) AppendPredictSubPlans(buf []float64, p *plan.Plan) []float64 {
 	return buf
 }
 
+// AppendPredictSubPlansFlat is AppendPredictSubPlans over a
+// streaming-decoded flat plan: featurization reads the decoder's DFS
+// arrays directly (featurize.EncodeFlatInto), so no *plan.Node tree is
+// ever materialized on the way to a prediction. The forward pass is the
+// same code on a bitwise-equal encoding, so results are bitwise-identical
+// to the tree path. The caller must have validated the plan
+// (plan.FlatPlan.Check): an out-of-range node type cannot be featurized.
+func (m *Model) AppendPredictSubPlansFlat(buf []float64, f *plan.FlatPlan) []float64 {
+	s := scratchPool.Get().(*scratch)
+	enc := m.Enc.EncodeFlatInto(&s.enc, f)
+	t := nn.GetTape()
+	pred, _ := m.forward(t, enc, -1)
+	for i := 0; i < pred.Value.Rows; i++ {
+		buf = append(buf, m.Enc.InverseLabel(pred.Value.At(i, 0)))
+	}
+	nn.PutTape(t)
+	scratchPool.Put(s)
+	return buf
+}
+
 // EmbedDim is the width of the pre-trained-encoder output: h₂ plus one
 // dimension carrying the model's own scaled root prediction.
 func (m *Model) EmbedDim() int { return m.Cfg.Hidden[len(m.Cfg.Hidden)-2] + 1 }

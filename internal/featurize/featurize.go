@@ -254,6 +254,74 @@ func (e *Encoder) EncodeInto(s *Scratch, p *plan.Plan) *Encoded {
 	return enc
 }
 
+// EncodeFlatInto featurizes a streaming-decoded flat plan into s, skipping
+// every tree traversal: the FlatPlan already carries the DFS order, heights,
+// and subtree spans the information catcher would otherwise recompute.
+// Arithmetic is identical to fill — same operations on the same float64s —
+// so the encoding is bitwise-equal to EncodeInto on the equivalent tree.
+// The same aliasing rule applies: the result is valid until the next
+// encode into the same Scratch.
+func (e *Encoder) EncodeFlatInto(s *Scratch, f *plan.FlatPlan) *Encoded {
+	s.arena.Reset()
+	n := f.Len()
+	s.heights = s.heights[:0]
+	for _, h := range f.Heights {
+		s.heights = append(s.heights, int(h))
+	}
+	if cap(s.spans) < n {
+		s.spans = make([]nn.Span, n)
+	}
+	s.spans = s.spans[:n]
+	for i, sz := range f.Subtree {
+		s.spans[i] = nn.Span{Lo: int32(i), Hi: int32(i) + sz}
+	}
+	if cap(s.types) < n {
+		s.types = make([]int, n)
+	}
+	s.types = s.types[:n]
+	enc := &s.enc
+	enc.X = s.arena.Matrix(n, FeatureDim)
+	enc.Y = s.arena.Matrix(n, 1)
+	enc.LossW = s.arena.Matrix(n, 1)
+	enc.CostCol = s.arena.Matrix(n, 1)
+	enc.Mask = nil
+	enc.Heights = s.heights
+	enc.Spans = s.spans
+	enc.Types = s.types
+	e.fillFlat(enc, f)
+	return enc
+}
+
+// fillFlat is fill over flat arrays: the same per-node arithmetic, indexed
+// instead of walked.
+func (e *Encoder) fillFlat(enc *Encoded, f *plan.FlatPlan) {
+	for i := 0; i < f.Len(); i++ {
+		enc.X.Set(i, int(f.Types[i]), 1)
+		enc.Types[i] = int(f.Types[i])
+		cost := e.Cost.Transform(logSafe(f.EstCost[i]))
+		enc.X.Set(i, plan.NumNodeTypes, cost)
+		enc.CostCol.Data[i] = cost
+		card := f.EstRows[i]
+		if e.ActualCard {
+			card = f.ActualRows[i]
+		}
+		enc.X.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
+		w := math.Pow(e.Alpha, float64(enc.Heights[i]))
+		if f.ActualMS[i] > 0 {
+			enc.Y.Set(i, 0, e.Label.Transform(logSafe(f.ActualMS[i])))
+		} else {
+			w = 0
+		}
+		enc.LossW.Set(i, 0, w)
+	}
+	if e.Alpha == 0 {
+		enc.LossW.Zero()
+		if f.Len() > 0 && f.ActualMS[0] > 0 {
+			enc.LossW.Set(0, 0, 1)
+		}
+	}
+}
+
 // InverseLabel maps a model output (scaled log ms) back to milliseconds.
 func (e *Encoder) InverseLabel(v float64) float64 {
 	return math.Exp(e.Label.Inverse(v))

@@ -1,0 +1,82 @@
+package featurize
+
+import (
+	"bytes"
+	"testing"
+
+	"dace/internal/plan"
+)
+
+// flatOf routes a plan through JSON and the streaming decoder, the way the
+// serving wire path produces FlatPlans.
+func flatOf(t *testing.T, dec *plan.Decoder, p *plan.Plan) *plan.FlatPlan {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dec.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestEncodeFlatIntoMatchesEncodeInto is the bitwise contract of the flat
+// wire path: featurizing a streaming-decoded plan must produce exactly the
+// encoding the tree path produces, across alpha regimes and the actual-card
+// ablation, reusing one Scratch so stale state cannot leak through.
+func TestEncodeFlatIntoMatchesEncodeInto(t *testing.T) {
+	plans := trainingPlans(t, 24)
+	for _, alpha := range []float64{0, 0.5, 1} {
+		for _, actual := range []bool{false, true} {
+			e := fitEncoder(plans, alpha, actual)
+			var treeScratch, flatScratch Scratch
+			var dec plan.Decoder
+			for _, p := range plans {
+				want := e.EncodeInto(&treeScratch, p)
+				got := e.EncodeFlatInto(&flatScratch, flatOf(t, &dec, p))
+				sameMatrix(t, "X", want.X, got.X)
+				sameMatrix(t, "Y", want.Y, got.Y)
+				sameMatrix(t, "LossW", want.LossW, got.LossW)
+				sameMatrix(t, "CostCol", want.CostCol, got.CostCol)
+				if got.Mask != nil {
+					t.Fatal("EncodeFlatInto must leave Mask nil")
+				}
+				if len(got.Heights) != len(want.Heights) {
+					t.Fatalf("heights: %d vs %d rows", len(got.Heights), len(want.Heights))
+				}
+				for i := range want.Heights {
+					if got.Heights[i] != want.Heights[i] || got.Types[i] != want.Types[i] || got.Spans[i] != want.Spans[i] {
+						t.Fatalf("row %d: heights/types/spans diverged", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeFlatIntoSteadyStateAllocs mirrors the EncodeInto guard for the
+// flat path.
+func TestEncodeFlatIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := trainingPlans(t, 8)
+	e := FitEncoder(plans, 0.5)
+	var s Scratch
+	flats := make([]*plan.FlatPlan, len(plans))
+	for i, p := range plans {
+		var dec plan.Decoder // fresh decoder per plan: Decode reuses its arena
+		flats[i] = flatOf(t, &dec, p)
+		e.EncodeFlatInto(&s, flats[i])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		e.EncodeFlatInto(&s, flats[i%len(flats)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("EncodeFlatInto allocates %.2f/op at steady state, want 0", avg)
+	}
+}

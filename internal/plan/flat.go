@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FlatPlan is a plan decoded straight into flat DFS pre-order arrays — the
+// exact shape the featurizer consumes — without ever materializing a *Node
+// tree. Index i of every slice describes the i-th node in DFS pre-order;
+// Subtree[i] is the size of the subtree rooted there, so the attention span
+// of node i is [i, i+Subtree[i]), and Heights[i] is its depth below the
+// root (root = 0), mirroring Plan.AppendHeights.
+//
+// A FlatPlan produced by a Decoder aliases the decoder's arenas (and, for
+// the database name, possibly the input buffer): it is valid only until the
+// decoder's next Decode/DecodeBinary call, and only while the input bytes
+// stay live. Escape with Tree() when the plan must outlive the request.
+type FlatPlan struct {
+	Types      []NodeType
+	ChildCount []int32
+	EstRows    []float64
+	EstCost    []float64
+	ActualRows []float64
+	ActualMS   []float64
+	Heights    []int32
+	Subtree    []int32
+
+	// Fingerprint is the canonical 128-bit hash, identical to what
+	// Plan.Fingerprint computes for the equivalent tree. It is filled during
+	// the decode, so a cache hit needs nothing beyond the parse itself.
+	Fingerprint Fingerprint
+
+	database []byte
+	shape    []int32 // scratch stack for computeShape
+}
+
+// Len returns the node count.
+func (f *FlatPlan) Len() int { return len(f.Types) }
+
+// Database returns the plan's database of origin (possibly "").
+func (f *FlatPlan) Database() string { return string(f.database) }
+
+// reset truncates every arena, keeping capacity for reuse.
+func (f *FlatPlan) reset() {
+	f.Types = f.Types[:0]
+	f.ChildCount = f.ChildCount[:0]
+	f.EstRows = f.EstRows[:0]
+	f.EstCost = f.EstCost[:0]
+	f.ActualRows = f.ActualRows[:0]
+	f.ActualMS = f.ActualMS[:0]
+	f.Heights = f.Heights[:0]
+	f.Subtree = f.Subtree[:0]
+	f.Fingerprint = Fingerprint{}
+	f.database = f.database[:0]
+}
+
+// appendNode appends one zero node to every arena and returns its index.
+func (f *FlatPlan) appendNode() int {
+	i := len(f.Types)
+	f.Types = append(f.Types, 0)
+	f.ChildCount = append(f.ChildCount, 0)
+	f.EstRows = append(f.EstRows, 0)
+	f.EstCost = append(f.EstCost, 0)
+	f.ActualRows = append(f.ActualRows, 0)
+	f.ActualMS = append(f.ActualMS, 0)
+	f.Heights = append(f.Heights, 0)
+	f.Subtree = append(f.Subtree, 0)
+	return i
+}
+
+// rehash computes the canonical fingerprint from the flat arrays. The loop
+// replays, word for word, the stream fingerprintNode emits for the
+// equivalent tree: DFS pre-order is the storage order, so (type, child
+// count) followed by the three hashed features per index is exactly the
+// recursive traversal's schedule.
+func (f *FlatPlan) rehash() {
+	if len(f.Types) == 0 {
+		f.Fingerprint = Fingerprint{}
+		return
+	}
+	st := fpState{hi: fpSeedHi, lo: fpSeedLo}
+	for i := range f.Types {
+		st.word(uint64(uint32(f.Types[i]))<<32 | uint64(uint32(f.ChildCount[i])))
+		st.word(canonBits(f.EstRows[i]))
+		st.word(canonBits(f.EstCost[i]))
+		st.word(canonBits(f.ActualRows[i]))
+	}
+	f.Fingerprint = st.sum()
+}
+
+// computeShape fills Heights and Subtree from ChildCount alone (the binary
+// decode path, where spans are not discovered by recursion) and validates
+// that the child counts describe exactly one well-formed tree.
+func (f *FlatPlan) computeShape() error {
+	n := len(f.Types)
+	if n == 0 {
+		return nil
+	}
+	// Backward pass: at position i the stack holds the subtree sizes of the
+	// already-finished subtrees to i's right; i's children are the top
+	// ChildCount[i] of them.
+	stack := f.shape[:0]
+	for i := n - 1; i >= 0; i-- {
+		cc := int(f.ChildCount[i])
+		if cc > len(stack) {
+			return fmt.Errorf("plan: node %d claims %d children but only %d subtrees follow", i, cc, len(stack))
+		}
+		size := int32(1)
+		for j := 0; j < cc; j++ {
+			size += stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, size)
+		f.Subtree[i] = size
+	}
+	f.shape = stack[:0]
+	if len(stack) != 1 {
+		return fmt.Errorf("plan: child counts describe %d trees, want 1", len(stack))
+	}
+	// Forward pass: depth = number of ancestors still awaiting children.
+	rem := f.shape[:0]
+	for i := 0; i < n; i++ {
+		for len(rem) > 0 && rem[len(rem)-1] == 0 {
+			rem = rem[:len(rem)-1]
+		}
+		f.Heights[i] = int32(len(rem))
+		if len(rem) > 0 {
+			rem[len(rem)-1]--
+		}
+		if cc := f.ChildCount[i]; cc > 0 {
+			rem = append(rem, cc)
+		}
+	}
+	f.shape = rem[:0]
+	return nil
+}
+
+// Check validates the plan for serving: it must be non-empty, every node
+// type must be one of the NumNodeTypes operators (an out-of-range type
+// would index past the one-hot block of the feature matrix), and every
+// numeric feature must be finite (JSON cannot carry NaN/Inf, but the
+// binary encoding's raw float64 bits can).
+func (f *FlatPlan) Check() error {
+	if f.Len() == 0 {
+		return errors.New("plan has no root")
+	}
+	for i := range f.Types {
+		if f.Types[i] < 0 || int(f.Types[i]) >= NumNodeTypes {
+			return fmt.Errorf("plan node %d has unknown operator type %d", i, int(f.Types[i]))
+		}
+		for _, v := range [...]float64{f.EstRows[i], f.EstCost[i], f.ActualRows[i], f.ActualMS[i]} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plan node %s has a non-finite feature", f.Types[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Tree materializes the equivalent *Plan. All nodes come from one backing
+// array (a single allocation besides the child slices), so this is cheap
+// enough for miss paths that must hand a tree to the micro-batcher or the
+// feedback store. Meta and SQL do not exist in flat form and are left zero.
+func (f *FlatPlan) Tree() *Plan {
+	p := &Plan{Database: f.Database()}
+	n := f.Len()
+	if n == 0 {
+		return p
+	}
+	nodes := make([]Node, n)
+	type frame struct {
+		idx int
+		rem int32
+	}
+	stack := make([]frame, 0, 16)
+	for i := 0; i < n; i++ {
+		for len(stack) > 0 && stack[len(stack)-1].rem == 0 {
+			stack = stack[:len(stack)-1]
+		}
+		nodes[i] = Node{
+			Type:       f.Types[i],
+			EstRows:    f.EstRows[i],
+			EstCost:    f.EstCost[i],
+			ActualRows: f.ActualRows[i],
+			ActualMS:   f.ActualMS[i],
+		}
+		if len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			nodes[top.idx].Children = append(nodes[top.idx].Children, &nodes[i])
+			top.rem--
+		}
+		if cc := f.ChildCount[i]; cc > 0 {
+			nodes[i].Children = make([]*Node, 0, cc)
+			stack = append(stack, frame{idx: i, rem: cc})
+		}
+	}
+	p.Root = &nodes[0]
+	return p
+}
+
+// CheckFeatures is the tree-shaped twin of FlatPlan.Check, shared by every
+// ingest path that still works on *Plan (pg EXPLAIN conversion, feedback
+// observations): node types must be within the one-hot range and numeric
+// features finite — a NaN would poison the forward pass, an out-of-range
+// type would corrupt the feature matrix.
+func CheckFeatures(p *Plan) error {
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return errors.New("plan: null node")
+		}
+		if n.Type < 0 || int(n.Type) >= NumNodeTypes {
+			return fmt.Errorf("plan node has unknown operator type %d", int(n.Type))
+		}
+		for _, v := range [...]float64{n.EstRows, n.EstCost, n.ActualRows, n.ActualMS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plan node %s has a non-finite feature", n.Type)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.Root == nil {
+		return nil
+	}
+	return walk(p.Root)
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"math"
 	"net/http"
 
@@ -140,23 +139,11 @@ func (s *Server) handleAdaptTrigger(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// checkFinite rejects plans carrying NaN or infinite numeric features —
-// they would poison both the prediction (NaN propagates through the
-// forward pass) and any feedback sample stored for fine-tuning.
+// checkFinite rejects plans carrying NaN or infinite numeric features (they
+// would poison both the prediction and any stored feedback sample) or
+// out-of-range operator types. It delegates to the canonical validator
+// shared with the flat wire path, so every ingest surface rejects exactly
+// the same plans.
 func checkFinite(p *plan.Plan) error {
-	var walk func(n *plan.Node) error
-	walk = func(n *plan.Node) error {
-		for _, v := range [...]float64{n.EstRows, n.EstCost, n.ActualRows, n.ActualMS} {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("plan node %s has a non-finite feature", n.Type)
-			}
-		}
-		for _, c := range n.Children {
-			if err := walk(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return walk(p.Root)
+	return plan.CheckFeatures(p)
 }

@@ -31,6 +31,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -280,167 +281,186 @@ func (s *Server) infer(p *plan.Plan) ([]float64, error) {
 type docScratch struct {
 	nodes   []*plan.Node
 	heights []int
-	preds   []float64
 }
 
 var docPool = sync.Pool{New: func() any { return new(docScratch) }}
-
-// buildDoc assembles the response document. SubPlans is always a non-nil
-// slice so the JSON field encodes as [] rather than null.
-func buildDoc(nodes []*plan.Node, heights []int, preds []float64) Prediction {
-	resp := Prediction{SubPlans: make([]SubPlan, 0, len(nodes))}
-	if len(nodes) > 0 {
-		resp.RootMS = preds[0]
-	}
-	for i, n := range nodes {
-		resp.SubPlans = append(resp.SubPlans, SubPlan{
-			Index: i, Operator: n.Type.String(), Height: heights[i],
-			EstRows: n.EstRows, EstCost: n.EstCost, PredictedMS: preds[i],
-		})
-	}
-	return resp
-}
-
-// predictionDoc assembles the response document from a plan and its
-// (possibly cache-shared) predictions, reusing pooled traversal buffers.
-func predictionDoc(p *plan.Plan, preds []float64) Prediction {
-	ds := docPool.Get().(*docScratch)
-	ds.nodes = p.AppendDFS(ds.nodes[:0])
-	ds.heights = p.AppendHeights(ds.heights[:0])
-	resp := buildDoc(ds.nodes, ds.heights, preds)
-	docPool.Put(ds)
-	return resp
-}
-
-// predictionOf builds the response document for one plan with a single
-// direct forward pass into a pooled buffer (the allocation-free
-// AppendPredictSubPlans path).
-func predictionOf(m *core.Model, p *plan.Plan) Prediction {
-	ds := docPool.Get().(*docScratch)
-	ds.preds = m.AppendPredictSubPlans(ds.preds[:0], p)
-	ds.nodes = p.AppendDFS(ds.nodes[:0])
-	ds.heights = p.AppendHeights(ds.heights[:0])
-	resp := buildDoc(ds.nodes, ds.heights, ds.preds)
-	docPool.Put(ds)
-	return resp
-}
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
-	format := r.URL.Query().Get("format")
+	query := r.URL.RawQuery
+	format := queryParam(query, "format")
 	if format != "" && format != "plan" && format != "pg" {
 		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
 		return
 	}
-	database := r.URL.Query().Get("database")
-	r.Body = http.MaxBytesReader(w, r.Body, MaxPredictBody)
-
-	buf := bufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer bufPool.Put(buf)
-	if _, err := buf.ReadFrom(r.Body); err != nil {
-		writeError(w, err)
+	database := queryParam(query, "database")
+	binary := isBinaryContentType(r.Header.Get("Content-Type"))
+	if binary && format == "pg" {
+		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
 		return
 	}
-	body := buf.Bytes()
 
-	// render produces the response bytes for a body-cache miss; its output
-	// may be cached, so it encodes into a fresh buffer, not a pooled one.
-	render := func() ([]byte, error) {
-		p, err := decodePlan(bytes.NewReader(body), format, database)
-		if err != nil {
-			return nil, err
-		}
-		var doc Prediction
-		if s.preds == nil && s.bat == nil {
-			doc = predictionOf(s.Model(), p)
-		} else {
-			preds, err := s.predsFor(p)
-			if err != nil {
-				return nil, err
-			}
-			doc = predictionDoc(p, preds)
-		}
-		var out bytes.Buffer
-		if err := json.NewEncoder(&out).Encode(doc); err != nil {
-			return nil, err
-		}
-		return out.Bytes(), nil
-	}
-
-	var resp []byte
-	var err error
-	if s.bodies != nil && len(body) <= maxCachedBody {
-		// Exact wire-bytes hit: skip JSON decode, fingerprinting, and encode
-		// entirely. Identical in-flight bodies coalesce here too.
-		key := servecache.KeyOf(body, []byte(format), []byte(database))
-		resp, err = s.bodies.GetOrCompute(key, render)
-	} else {
-		resp, err = render()
-	}
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
+	body, err := ws.readBody(r.Body, MaxPredictBody)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(resp)
-}
 
-// handlePredictBatch predicts a JSON array of plans in one request. The
-// batch is deduplicated against the fingerprint cache — repeated sub-plans
-// across entries cost one forward pass — and the misses fan out across the
-// server's worker pool in input order. The response is a JSON array of
-// Prediction documents in input order.
-func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	if !allowOnly(w, r, http.MethodPost) {
-		return
-	}
-	format := r.URL.Query().Get("format")
-	if format != "" && format != "plan" && format != "pg" {
-		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
-	var raw []json.RawMessage
-	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		writeError(w, err)
-		return
-	}
-	plans := make([]*plan.Plan, len(raw))
-	for i, msg := range raw {
-		p, err := decodePlan(bytes.NewReader(msg), format, r.URL.Query().Get("database"))
+	if s.bodies != nil && len(body) <= maxCachedBody {
+		// Exact wire-bytes hit: skip plan decode, fingerprinting, and encode
+		// entirely — the whole request is hash, lookup, write.
+		var key servecache.Key
+		if binary {
+			key = servecache.KeyOf(body, binaryBodyTag, []byte(database))
+		} else {
+			key = servecache.KeyOf(body, []byte(format), []byte(database))
+		}
+		if resp, ok := s.bodies.Lookup(key); ok {
+			writeResponseBytes(w, resp)
+			return
+		}
+		// Miss: render into a fresh cacheable buffer; identical in-flight
+		// bodies coalesce here too.
+		resp, err := s.bodies.GetOrCompute(key, func() ([]byte, error) {
+			return s.renderPredict(ws, nil, body, format, database, binary)
+		})
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		plans[i] = p
+		writeResponseBytes(w, resp)
+		return
 	}
-	preds := s.batchPreds(plans)
-	resp := make([]Prediction, len(plans))
+	ws.resp, err = s.renderPredict(ws, ws.resp[:0], body, format, database, binary)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResponseBytes(w, ws.resp)
+}
+
+// handlePredictBatch predicts an array of plans (JSON array, or a binary
+// batch frame under plan.BinaryContentType) in one request. The batch is
+// deduplicated against the fingerprint cache — repeated sub-plans across
+// entries cost one forward pass — and the misses fan out across the
+// server's worker pool in input order. The response is a JSON array of
+// Prediction documents in input order; a bad entry fails the request with
+// its index ("plan[17]: ...").
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodPost) {
+		return
+	}
+	query := r.URL.RawQuery
+	format := queryParam(query, "format")
+	if format != "" && format != "plan" && format != "pg" {
+		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
+		return
+	}
+	database := queryParam(query, "database")
+	binary := isBinaryContentType(r.Header.Get("Content-Type"))
+	if binary && format == "pg" {
+		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
+		return
+	}
+
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
+	body, err := ws.readBody(r.Body, MaxBatchBody)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Decode every entry up front: trees for the model fan-out, fingerprint
+	// keys straight from the streaming decoder (no second hash pass).
+	var plans []*plan.Plan
+	var keys []servecache.Key
+	if binary {
+		bb, err := plan.NewBinaryBatch(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		plans = make([]*plan.Plan, 0, bb.Len())
+		keys = make([]servecache.Key, 0, bb.Len())
+		for i := 0; bb.Len() > 0; i++ {
+			f, err := bb.Next(&ws.dec)
+			if err != nil {
+				writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
+				return
+			}
+			if err := f.Check(); err != nil {
+				writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
+				return
+			}
+			plans = append(plans, f.Tree())
+			keys = append(keys, servecache.Key(f.Fingerprint))
+		}
+	} else {
+		var raw []json.RawMessage
+		if err := json.Unmarshal(body, &raw); err != nil {
+			writeError(w, err)
+			return
+		}
+		plans = make([]*plan.Plan, len(raw))
+		keys = make([]servecache.Key, len(raw))
+		for i, msg := range raw {
+			if format == "pg" {
+				p, err := decodePlan(bytes.NewReader(msg), format, database)
+				if err != nil {
+					writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
+					return
+				}
+				plans[i], keys[i] = p, servecache.Key(p.Fingerprint())
+				continue
+			}
+			f, err := ws.dec.Decode(msg)
+			if err == nil {
+				err = f.Check()
+			}
+			if err != nil {
+				writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
+				return
+			}
+			plans[i], keys[i] = f.Tree(), servecache.Key(f.Fingerprint)
+		}
+	}
+
+	preds := s.batchPreds(plans, keys)
+	out := append(ws.resp[:0], '[')
 	for i := range plans {
-		resp[i] = predictionDoc(plans[i], preds[i])
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if out, err = appendPredictionTree(out, plans[i], preds[i]); err != nil {
+			writeError(w, err)
+			return
+		}
 	}
-	writeJSON(w, resp)
+	ws.resp = append(out, ']', '\n')
+	writeResponseBytes(w, ws.resp)
 }
 
 // batchPreds resolves predictions for a whole batch: cache hits and
 // intra-batch duplicates are served from one compute, and the remaining
 // misses run as a single data-parallel batch (the request is already a
-// batch, so it bypasses the micro-batcher).
-func (s *Server) batchPreds(plans []*plan.Plan) [][]float64 {
+// batch, so it bypasses the micro-batcher). keys[i] must be plans[i]'s
+// fingerprint key — the decode paths already hold it, so nothing is hashed
+// twice.
+func (s *Server) batchPreds(plans []*plan.Plan, keys []servecache.Key) [][]float64 {
 	m := s.Model()
 	if s.preds == nil {
 		return m.PredictSubPlansBatch(plans, s.Workers)
 	}
 	out := make([][]float64, len(plans))
-	keys := make([]servecache.Key, len(plans))
 	firstOf := make(map[servecache.Key]int, len(plans))
 	gen := s.preds.Generation()
 	var missIdx []int
-	for i, p := range plans {
-		keys[i] = servecache.Key(p.Fingerprint())
+	for i := range plans {
 		if v, ok := s.preds.Get(keys[i]); ok {
 			out[i] = v
 			continue

@@ -131,6 +131,33 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	return v, true
 }
 
+// Lookup is Get without the miss accounting: a present entry counts a hit
+// and refreshes its LRU position exactly like Get, but an absent key moves
+// no counter. It exists for two-phase callers on allocation-sensitive hot
+// paths — probe with Lookup first (no compute closure needs to be built on
+// a hit), fall back to GetOrCompute on absence — without one logical
+// request being counted as two misses.
+func (c *Cache[V]) Lookup(k Key) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if ok && c.expiredEntry(e) {
+		s.remove(e)
+		c.expired.Add(1)
+		ok = false
+	}
+	if !ok {
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
 // Put inserts (or refreshes) k → v, evicting the shard's least recently
 // used entry when over capacity.
 func (c *Cache[V]) Put(k Key, v V) {
