@@ -155,6 +155,7 @@ func benchAdapt(rep *Report, m *core.Model, plans []*plan.Plan, quick bool, warm
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
 		NumGC:       after.NumGC - before.NumGC,
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
 	})
 	fmt.Fprintf(os.Stderr, "bench: adapt/serve_during_finetune done (%.0f req/s)\n",
 		float64(n)/elapsed.Seconds())

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/gateway"
+	"dace/internal/plan"
+	"dace/internal/serve"
+)
+
+// gatewayCase is one cluster scenario: a replica count behind the
+// fingerprint-sharded gateway, a concurrency level, and a target hit rate.
+// All gateway scenarios use the compact binary wire format — the cluster
+// deployment's steady-state encoding.
+type gatewayCase struct {
+	name     string
+	replicas int
+	conc     int
+	hit      float64
+	kill     bool // close one replica mid-run; every request must still succeed
+}
+
+// gatewayCases sweeps replica counts at the acceptance point (c=64, hit=99)
+// plus a cold-heavy mix, and always includes the kill-one-replica
+// resilience scenario. Quick mode keeps the single-replica reference, the
+// 4-replica acceptance point, and the kill run.
+func gatewayCases(quick bool) []gatewayCase {
+	if quick {
+		return []gatewayCase{
+			{"gateway/routed/r=1/c=64/hit=99", 1, 64, 0.99, false},
+			{"gateway/routed/r=4/c=64/hit=99", 4, 64, 0.99, false},
+			{"gateway/kill_replica/r=4/c=64/hit=99", 4, 64, 0.99, true},
+		}
+	}
+	return []gatewayCase{
+		{"gateway/routed/r=1/c=64/hit=99", 1, 64, 0.99, false},
+		{"gateway/routed/r=2/c=64/hit=99", 2, 64, 0.99, false},
+		{"gateway/routed/r=4/c=64/hit=50", 4, 64, 0.50, false},
+		{"gateway/routed/r=4/c=64/hit=99", 4, 64, 0.99, false},
+		{"gateway/kill_replica/r=4/c=64/hit=99", 4, 64, 0.99, true},
+	}
+}
+
+// benchGateway measures routed /predict throughput through the gateway over
+// replicated in-process servers — real HTTP on loopback at both hops.
+// Every request must return 200, including for the entire duration of a
+// mid-run replica kill: a single client-visible failure aborts the bench.
+// After each multi-replica run the per-replica body-cache hit rates are
+// read back from /healthz; at hit=99 sharding affinity must keep them
+// within 5 points of each other, or the run aborts. Returns the 4-replica
+// vs single-replica speedup at the acceptance point (c=64, hit=99), or 0
+// when that pair was not measured.
+func benchGateway(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) float64 {
+	n := 4000
+	if quick {
+		n = 1200
+	}
+	// A 32-plan hot set (vs 8 for the single-server scenarios) so that at
+	// 4 replicas every shard owns several hot fingerprints and the
+	// per-replica hit-rate comparison is meaningful.
+	w := newWorkload(plans, 32)
+	plain := serve.New(m)
+	defer plain.Close()
+	perSec := map[string]float64{}
+
+	for _, sc := range gatewayCases(quick) {
+		perSec[sc.name] = runGatewayCase(rep, m, plain, w, sc, n)
+	}
+
+	base, routed := perSec["gateway/routed/r=1/c=64/hit=99"], perSec["gateway/routed/r=4/c=64/hit=99"]
+	if base == 0 {
+		return 0
+	}
+	return routed / base
+}
+
+// runGatewayCase spins up the fleet, verifies the routed responses are
+// byte-identical to a direct uncached server's, then measures.
+func runGatewayCase(rep *Report, m *core.Model, plain *serve.Server, w *workload, sc gatewayCase, n int) float64 {
+	backends := make([]*httptest.Server, sc.replicas)
+	servers := make([]*serve.Server, sc.replicas)
+	urls := make([]string, sc.replicas)
+	for i := range backends {
+		servers[i] = serve.NewWithConfig(m, cachedConfig())
+		backends[i] = httptest.NewServer(servers[i].Handler())
+		urls[i] = backends[i].URL
+	}
+	gw, err := gateway.New(gateway.Config{Replicas: urls, HealthInterval: 100 * time.Millisecond})
+	if err != nil {
+		log.Fatalf("bench: %s: %v", sc.name, err)
+	}
+	front := httptest.NewServer(gw.Handler())
+	defer func() {
+		front.Close()
+		gw.Close()
+		for i := range backends {
+			backends[i].Close() // safe on the killed replica: Close is idempotent
+			servers[i].Close()
+		}
+	}()
+
+	// Contract check before any timing: routed responses must match the
+	// plain server bit for bit, on both passes (the second hits caches).
+	probe := w.binary(append(append([][]byte{}, w.hot[:4]...), w.bodies(2, 0, 3)...))
+	for i, bin := range probe {
+		want := postOnce(plain, bin, plan.BinaryContentType)
+		for pass := 0; pass < 2; pass++ {
+			got := postFront(sc.name, front.URL, bin)
+			if !bytes.Equal(got, want) {
+				log.Fatalf("bench: %s: routed response diverged from direct server (probe %d, pass %d)", sc.name, i, pass)
+			}
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        sc.conc * 2,
+		MaxIdleConnsPerHost: sc.conc * 2,
+		DisableCompression:  true,
+	}}
+	defer client.CloseIdleConnections()
+	target, err := url.Parse(front.URL + "/predict")
+	if err != nil {
+		log.Fatalf("bench: %s: %v", sc.name, err)
+	}
+
+	// The kill fires once a third of the measured requests are in: abrupt
+	// connection resets on in-flight requests, then a dead listener. The
+	// gateway must absorb all of it — ejection plus retry on the remapped
+	// ring — without a single failed client request.
+	var killOnce sync.Once
+	var killWG sync.WaitGroup
+	killAt := n / 3
+	run := func(bodies [][]byte, record []float64, armed bool) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < sc.conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hdr := http.Header{"Content-Type": []string{plan.BinaryContentType}, "User-Agent": nil}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(bodies) {
+						return
+					}
+					if armed && i >= killAt {
+						killOnce.Do(func() {
+							killWG.Add(1)
+							go func() {
+								defer killWG.Done()
+								backends[1].CloseClientConnections()
+								backends[1].Close()
+							}()
+						})
+					}
+					body := bodies[i]
+					t0 := time.Now()
+					req := &http.Request{
+						Method: http.MethodPost,
+						URL:    target,
+						Header: hdr,
+						Body:   io.NopCloser(bytes.NewReader(body)),
+						GetBody: func() (io.ReadCloser, error) {
+							return io.NopCloser(bytes.NewReader(body)), nil
+						},
+						ContentLength: int64(len(body)),
+					}
+					resp, err := client.Do(req)
+					if err != nil {
+						log.Fatalf("bench: %s: request failed: %v", sc.name, err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						log.Fatalf("bench: %s: status %d (zero failed requests required)", sc.name, resp.StatusCode)
+					}
+					if record != nil {
+						record[i] = float64(time.Since(t0))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	warmBodies := w.binary(w.bodies(n/4, sc.hit, 7))
+	measBodies := w.binary(w.bodies(n, sc.hit, 11))
+	run(warmBodies, nil, false)
+	lat := make([]float64, n)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	run(measBodies, lat, sc.kill)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	killWG.Wait()
+
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	perSec := float64(n) / elapsed.Seconds()
+	rep.Results = append(rep.Results, Result{
+		Name:        sc.name,
+		Runs:        1,
+		OpsPerRun:   n,
+		PlansPerSec: perSec,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		P50Ns:       q(0.50),
+		P95Ns:       q(0.95),
+		P99Ns:       q(0.99),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		NumGC:       after.NumGC - before.NumGC,
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+	})
+	fmt.Fprintf(os.Stderr, "bench: %s done (%.0f req/s)\n", sc.name, perSec)
+
+	if sc.replicas > 1 && !sc.kill {
+		checkReplicaHitRates(sc, backends)
+	}
+	return perSec
+}
+
+// checkReplicaHitRates reads each replica's body-cache counters back
+// through /healthz and verifies sharding affinity: at hit=99 every
+// replica's observed hit rate must sit within 5 points of the others.
+// At lower target rates the spread is reported but not enforced — the
+// per-shard hot/cold mix legitimately varies with how many hot
+// fingerprints each shard owns.
+func checkReplicaHitRates(sc gatewayCase, backends []*httptest.Server) {
+	lo, hi := 101.0, -1.0
+	rates := make([]float64, len(backends))
+	for i, b := range backends {
+		resp, err := http.Get(b.URL + "/healthz")
+		if err != nil {
+			log.Fatalf("bench: %s: replica %d health: %v", sc.name, i, err)
+		}
+		var h serve.Health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil || h.BodyCache == nil {
+			log.Fatalf("bench: %s: replica %d health: %v (body cache %v)", sc.name, i, err, h.BodyCache)
+		}
+		bc := h.BodyCache
+		total := bc.Hits + bc.Misses + bc.Coalesced
+		if total == 0 {
+			log.Fatalf("bench: %s: replica %d served no traffic", sc.name, i)
+		}
+		rates[i] = float64(bc.Hits+bc.Coalesced) / float64(total) * 100
+		if rates[i] < lo {
+			lo = rates[i]
+		}
+		if rates[i] > hi {
+			hi = rates[i]
+		}
+	}
+	for i, r := range rates {
+		fmt.Fprintf(os.Stderr, "bench: %s: replica %d body-cache hit rate %.1f%%\n", sc.name, i, r)
+	}
+	if sc.hit >= 0.99 && hi-lo > 5 {
+		log.Fatalf("bench: %s: per-replica hit rates spread %.1f points (%.1f–%.1f), want <= 5", sc.name, hi-lo, lo, hi)
+	}
+}
+
+// postFront sends one binary /predict through the gateway front.
+func postFront(name, frontURL string, body []byte) []byte {
+	resp, err := http.Post(frontURL+"/predict", plan.BinaryContentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("bench: %s: %v", name, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatalf("bench: %s: %v", name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("bench: %s: verify request failed with status %d: %s", name, resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}

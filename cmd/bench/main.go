@@ -48,6 +48,10 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	GCPauseMs   float64 `json:"gc_pause_ms"`
 	NumGC       uint32  `json:"num_gc"`
+	// Gomaxprocs is the effective GOMAXPROCS while this scenario ran.
+	// Scenarios are comparable across baselines only at equal parallelism,
+	// so the delta report carries it per row rather than only globally.
+	Gomaxprocs int `json:"gomaxprocs"`
 }
 
 // Report is the BENCH_<date>.json document.
@@ -109,6 +113,7 @@ func measure(name string, opsPerRun, plansPerOp, warmup, runs int, fn func(i int
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
 		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
 		NumGC:       after.NumGC - before.NumGC,
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -247,6 +252,10 @@ func main() {
 	// latency, and serving latency during an in-flight fine-tune.
 	benchAdapt(&rep, m, test, *quick, *warmup, *runs)
 
+	// Cluster scenarios: the fingerprint-sharded gateway routing to
+	// replicated servers, including the kill-one-replica resilience run.
+	gwSpeedup := benchGateway(&rep, m, test, *quick)
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
@@ -266,6 +275,10 @@ func main() {
 	printMarkdown(rep, baseline)
 	if speedup > 0 {
 		fmt.Printf("serving pipeline speedup at c=64 / 90%% repeated plans: **%.2f×** vs uncached\n\n", speedup)
+	}
+	if gwSpeedup > 0 {
+		fmt.Printf("gateway routed throughput, 4 replicas vs 1, at c=64 / 99%% repeated plans: **%.2f×** (GOMAXPROCS=%d)\n\n",
+			gwSpeedup, runtime.GOMAXPROCS(0))
 	}
 
 	if *check {
@@ -297,6 +310,10 @@ func main() {
 // scheduler contention and too noisy for a fixed threshold.
 var uncheckedScenarios = map[string]bool{
 	"adapt/serve_during_finetune/c=16/hit=90": true,
+	// The kill run measures throughput while a replica dies mid-run; its
+	// number depends on ejection timing, not steady-state code speed. The
+	// zero-failed-requests assertion inside the scenario is the real gate.
+	"gateway/kill_replica/r=4/c=64/hit=99": true,
 }
 
 // checkRegressions compares throughput scenario-by-scenario against the
@@ -351,12 +368,18 @@ func printMarkdown(rep Report, baseline map[string]Result) {
 	fmt.Printf("# DACE benchmark — %s\n\n", rep.Date)
 	fmt.Printf("%s, GOMAXPROCS=%d, seed=%d, %d train / %d test plans, %d runs\n\n",
 		rep.GoVersion, rep.GOMAXPROCS, rep.Seed, rep.TrainPlans, rep.TestPlans, rep.Results[0].Runs)
-	fmt.Println("| scenario | plans/sec | Δ | ns/op | p99 | allocs/op | Δ | GC pauses |")
-	fmt.Println("|---|---:|---:|---:|---:|---:|---:|---:|")
+	fmt.Println("| scenario | procs | plans/sec | Δ | ns/op | p99 | allocs/op | Δ | GC pauses |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---:|---:|---:|")
 	for _, r := range rep.Results {
 		base, ok := baseline[r.Name]
-		fmt.Printf("| %s | %.0f | %s | %.0f | %.0f | %.1f | %s | %.2fms/%d |\n",
-			r.Name, r.PlansPerSec, delta(r.PlansPerSec, base.PlansPerSec, ok, true),
+		procs := fmt.Sprintf("%d", r.Gomaxprocs)
+		if ok && base.Gomaxprocs != 0 && base.Gomaxprocs != r.Gomaxprocs {
+			// Flag cross-parallelism comparisons: the Δ column is then a
+			// hardware delta, not a code delta.
+			procs = fmt.Sprintf("%d (base %d)", r.Gomaxprocs, base.Gomaxprocs)
+		}
+		fmt.Printf("| %s | %s | %.0f | %s | %.0f | %.0f | %.1f | %s | %.2fms/%d |\n",
+			r.Name, procs, r.PlansPerSec, delta(r.PlansPerSec, base.PlansPerSec, ok, true),
 			r.NsPerOp, r.P99Ns,
 			r.AllocsPerOp, delta(r.AllocsPerOp, base.AllocsPerOp, ok, false),
 			r.GCPauseMs, r.NumGC)

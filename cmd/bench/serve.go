@@ -257,6 +257,7 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 			GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
 			NumGC:       after.NumGC - before.NumGC,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
 		})
 		fmt.Fprintf(os.Stderr, "bench: %s done (%.0f req/s)\n", sc.name, perSec[sc.name])
 

@@ -26,6 +26,15 @@
 // a LoRA clone off the serving path, promoting it only when it beats the
 // incumbent on a held-out split; promotions are persisted as versioned
 // artifacts under -model-dir, which a restart resumes from.
+//
+// Cluster mode (-gateway): instead of serving a model, daced fronts a
+// fleet of daced replicas and routes /predict and /predict/batch traffic
+// by consistent-hashing each plan's fingerprint, so every replica's caches
+// stay hot on a stable shard of the plan space:
+//
+//	daced -gateway localhost:8081,localhost:8082 -addr :8080
+//	curl localhost:8080/healthz                         # per-replica state
+//	curl -XPOST 'localhost:8080/rollout/start?version=3'  # canary a model
 package main
 
 import (
@@ -39,12 +48,14 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-pprof listener only)
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dace/internal/adapt"
 	"dace/internal/core"
 	"dace/internal/feedback"
+	"dace/internal/gateway"
 	"dace/internal/serve"
 	"dace/internal/telemetry"
 	"dace/internal/version"
@@ -69,6 +80,12 @@ func main() {
 	adaptMinSamples := flag.Int("adapt-min-samples", 256, "replay-buffer floor before a fine-tune may run")
 	adaptGate := flag.Float64("adapt-gate", 0.02, "fractional holdout q-error improvement (median AND p90) required to promote")
 	modelDir := flag.String("model-dir", "", "directory for versioned promoted-model artifacts (empty keeps promotions in memory only)")
+	drainGrace := flag.Duration("drain-grace", 0, "delay between flipping /healthz/ready unready and closing the listener, so upstream gateways eject this replica first")
+	gatewayReplicas := flag.String("gateway", "", "run as a cluster gateway over this comma-separated replica list (host:port,...) instead of serving a model")
+	gwVnodes := flag.Int("gw-vnodes", 0, "gateway: virtual nodes per replica on the routing ring (0 = 128)")
+	gwMaxInflight := flag.Int("gw-max-inflight", 0, "gateway: max concurrent upstream requests per replica before 503 backpressure (0 = 256)")
+	gwHealthInterval := flag.Duration("gw-health-interval", 0, "gateway: replica readiness probe period (0 = 250ms)")
+	gwMirrorEvery := flag.Int("gw-mirror-every", 0, "gateway: mirror 1-in-N routed requests to an active rollout canary (0 = 8)")
 	flag.Parse()
 
 	if *showVersion {
@@ -90,6 +107,19 @@ func main() {
 	if *metricsOn {
 		reg = telemetry.NewRegistry()
 		version.Register(reg)
+	}
+
+	if *gatewayReplicas != "" {
+		runGateway(logger, reg, gatewayConfig{
+			addr:           *addr,
+			replicas:       strings.Split(*gatewayReplicas, ","),
+			vnodes:         *gwVnodes,
+			maxInflight:    *gwMaxInflight,
+			healthInterval: *gwHealthInterval,
+			mirrorEvery:    *gwMirrorEvery,
+			drainGrace:     *drainGrace,
+		})
+		return
 	}
 
 	m := core.NewModel(core.DefaultConfig())
@@ -137,6 +167,30 @@ func main() {
 		Metrics:    reg,
 	})
 	s.Workers = *workers
+	s.SetVersion(servedVersion)
+	if *modelDir != "" {
+		// POST /model/load resolves versions against the artifact directory;
+		// version 0 is the seed model the daemon started from.
+		dir, seedPath, seedLoRA := *modelDir, *modelPath, *lora
+		s.Loader = func(v int) (*core.Model, error) {
+			if v == 0 {
+				nm := core.NewModel(core.DefaultConfig())
+				if seedLoRA {
+					nm.EnableLoRA()
+				}
+				f, err := os.Open(seedPath)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := nm.Load(f); err != nil {
+					return nil, err
+				}
+				return nm, nil
+			}
+			return adapt.LoadVersion(dir, v)
+		}
+	}
 
 	// Online adaptation: any adaptation-related flag switches the loop on.
 	var ctl *adapt.Controller
@@ -194,6 +248,13 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		logger.Info("draining", "signal", sig.String())
+		// Flip readiness off first and give upstream gateways a grace
+		// period to observe it and eject this replica — new traffic stops
+		// arriving before the listener closes, so nothing gets refused.
+		s.BeginDrain()
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
@@ -209,6 +270,64 @@ func main() {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal("listen", "err", err)
+		}
+	}
+}
+
+// gatewayConfig carries the -gateway mode flags.
+type gatewayConfig struct {
+	addr           string
+	replicas       []string
+	vnodes         int
+	maxInflight    int
+	healthInterval time.Duration
+	mirrorEvery    int
+	drainGrace     time.Duration
+}
+
+// runGateway is daced's cluster-gateway main loop: no model, no serving
+// pipeline — just fingerprint-sharded routing over the replica fleet.
+func runGateway(logger *slog.Logger, reg *telemetry.Registry, cfg gatewayConfig) {
+	for i := range cfg.replicas {
+		cfg.replicas[i] = strings.TrimSpace(cfg.replicas[i])
+	}
+	g, err := gateway.New(gateway.Config{
+		Replicas:       cfg.replicas,
+		Vnodes:         cfg.vnodes,
+		MaxInflight:    cfg.maxInflight,
+		HealthInterval: cfg.healthInterval,
+		MirrorEvery:    cfg.mirrorEvery,
+		Metrics:        reg,
+	})
+	if err != nil {
+		logger.Error("gateway", "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: g.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("gateway serving",
+		"addr", cfg.addr, "replicas", len(cfg.replicas), "version", version.Get().Version)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("draining", "signal", sig.String())
+		if cfg.drainGrace > 0 {
+			time.Sleep(cfg.drainGrace)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		cancel()
+		g.Close()
+		logger.Info("drained")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("listen", "err", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,303 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dace/internal/pgexplain"
+	"dace/internal/plan"
+	"dace/internal/telemetry"
+)
+
+// Config parameterizes a gateway. Replicas is the only required field.
+type Config struct {
+	// Replicas lists the daced instances ("http://host:port" or bare
+	// "host:port"). The set is fixed for the gateway's lifetime; health
+	// checks flip members in and out of the routing ring.
+	Replicas []string
+
+	// Vnodes is the virtual-node count per replica (default 128).
+	Vnodes int
+	// MaxInflight bounds concurrent upstream requests per replica; excess
+	// traffic gets 503 + Retry-After (default 256).
+	MaxInflight int
+	// ConnsPerReplica caps the idle upstream connection pool (default 64).
+	ConnsPerReplica int
+
+	// HealthInterval is the readiness probe period (default 250ms).
+	// FailAfter consecutive probe failures eject a replica; ReadmitAfter
+	// consecutive successes re-admit it (both default 2).
+	HealthInterval time.Duration
+	FailAfter      int
+	ReadmitAfter   int
+
+	// DialTimeout and Timeout bound upstream connection establishment and
+	// whole round trips (defaults 2s and 10s).
+	DialTimeout time.Duration
+	Timeout     time.Duration
+
+	// MirrorEvery samples 1-in-N routed /predict requests onto a rollout
+	// canary while a rollout is active (default 8; rollout.go).
+	MirrorEvery int
+
+	// Metrics, when non-nil, registers gateway metric families for the
+	// /metrics endpoint. Nil leaves the hot path uninstrumented.
+	Metrics *telemetry.Registry
+}
+
+// Gateway fronts a replicated daced fleet: it decodes each incoming plan
+// just far enough to fingerprint it (streaming, no tree), consistent-hashes
+// the fingerprint to a healthy replica, and forwards the plan over the
+// compact binary wire encoding. See the package comment for why.
+type Gateway struct {
+	pool    *Pool
+	tel     *gatewayMetrics
+	rollout rolloutState
+}
+
+// New builds a gateway over the configured replica fleet and starts its
+// health loop. Callers own the returned gateway and must Close it.
+func New(cfg Config) (*Gateway, error) {
+	pool, err := newPool(cfg.Replicas, cfg.Vnodes, cfg.MaxInflight, cfg.ConnsPerReplica,
+		cfg.HealthInterval, cfg.DialTimeout, cfg.Timeout, cfg.FailAfter, cfg.ReadmitAfter)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{pool: pool}
+	g.rollout.mirrorEvery = cfg.MirrorEvery
+	if g.rollout.mirrorEvery <= 0 {
+		g.rollout.mirrorEvery = 8
+	}
+	if cfg.Metrics != nil {
+		g.tel = newGatewayMetrics(g, cfg.Metrics)
+	}
+	return g, nil
+}
+
+// Close stops the health loop, any active rollout mirroring, and every
+// pooled upstream connection.
+func (g *Gateway) Close() {
+	g.rollout.stopMirror()
+	g.pool.close()
+}
+
+// Handler returns the gateway's HTTP mux.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", g.instrument("/predict", g.handlePredict))
+	mux.HandleFunc("/predict/batch", g.instrument("/predict/batch", g.handleBatch))
+	mux.HandleFunc("/healthz", g.handleHealth)
+	mux.HandleFunc("/healthz/live", handleLive)
+	mux.HandleFunc("/healthz/ready", g.handleReady)
+	mux.HandleFunc("/rollout/start", g.handleRolloutStart)
+	mux.HandleFunc("/rollout/status", g.handleRolloutStatus)
+	mux.HandleFunc("/rollout/commit", g.handleRolloutCommit)
+	mux.HandleFunc("/rollout/abort", g.handleRolloutAbort)
+	if g.tel != nil {
+		mux.HandleFunc("/metrics", g.handleMetrics)
+	}
+	return mux
+}
+
+// Replicas exposes the replica set for health reporting and tests.
+func (g *Gateway) Replicas() []ReplicaHealth { return g.pool.health() }
+
+// routing errors — both answered with 503 + Retry-After.
+var (
+	errNoReplicas   = errors.New("gateway: no healthy replicas")
+	errBackpressure = errors.New("gateway: replica saturated")
+)
+
+// handlePredict routes one plan. The hot path — binary in, cache hit
+// upstream — runs allocation-free: pooled scratch, streaming decode into
+// flat arenas, fingerprint from the parse, forward over a pooled
+// connection, pass the response through.
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodPost) {
+		return
+	}
+	query := r.URL.RawQuery
+	format := queryParam(query, "format")
+	if format != "" && format != "plan" && format != "pg" {
+		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
+		return
+	}
+	database := queryParam(query, "database")
+	binary := isBinaryContentType(r.Header.Get("Content-Type"))
+	if binary && format == "pg" {
+		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
+		return
+	}
+
+	ws := gwPool.Get().(*gwScratch)
+	defer gwPool.Put(ws)
+	body, err := ws.readBody(r.Body, MaxPredictBody)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Decode just enough to validate and fingerprint, then pick the wire
+	// body for the upstream hop. A binary request body is already the wire
+	// encoding — validated, it forwards verbatim, zero re-encode cost.
+	var upBody []byte
+	var fp uint64
+	switch {
+	case format == "pg":
+		p, err := pgexplain.Parse(bytes.NewReader(body), database)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := plan.CheckFeatures(p); err != nil {
+			writeError(w, err)
+			return
+		}
+		fp = p.Fingerprint().Hi
+		if ws.out, err = plan.AppendBinary(ws.out[:0], p); err != nil {
+			writeError(w, err)
+			return
+		}
+		upBody = ws.out
+	case binary:
+		f, err := ws.dec.DecodeBinary(body)
+		if err == nil {
+			err = f.Check()
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fp = f.Fingerprint.Hi
+		upBody = body
+	default:
+		f, err := ws.dec.Decode(body)
+		if err == nil {
+			err = f.Check()
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fp = f.Fingerprint.Hi
+		if ws.out, err = f.AppendBinaryFrame(ws.out[:0]); err != nil {
+			writeError(w, err)
+			return
+		}
+		upBody = ws.out
+	}
+
+	status, resp, err := g.forward(ws, "/predict", upBody, fp)
+	if err != nil {
+		writeRouteError(w, err)
+		return
+	}
+	g.rollout.maybeMirror(upBody)
+	writeProxied(w, status, ws.wire.ct, resp)
+}
+
+// forward routes hash h to its replica and performs the round trip,
+// retrying on the remapped ring after a transport failure (which ejects the
+// failed replica, so the next route lands elsewhere). The returned body
+// aliases ws.wire and is valid until ws is reused. A saturated replica is
+// not retried — backpressure must reach the client, not pile onto a
+// neighbor that owns a different shard.
+func (g *Gateway) forward(ws *gwScratch, path string, body []byte, h uint64) (int, []byte, error) {
+	for tries := 0; tries <= len(g.pool.replicas); tries++ {
+		rep := g.pool.route(h)
+		if rep == nil {
+			return 0, nil, errNoReplicas
+		}
+		if !rep.acquire() {
+			return 0, nil, errBackpressure
+		}
+		rep.requests.Add(1)
+		status, resp, err := rep.up.roundTrip(&ws.wire, http.MethodPost, path, plan.BinaryContentType, body)
+		rep.release()
+		if err == nil {
+			return status, resp, nil
+		}
+		rep.errored.Add(1)
+		g.pool.eject(rep)
+	}
+	return 0, nil, errNoReplicas
+}
+
+// writeError maps request decoding failures to 400/413, mirroring serve.
+func writeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// writeRouteError answers routing failures: always 503 with Retry-After —
+// the condition (fleet-wide ejection, a saturated shard) is transient.
+func writeRouteError(w http.ResponseWriter, err error) {
+	w.Header()["Retry-After"] = retryAfter1
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+}
+
+// GatewayHealth is the /healthz document.
+type GatewayHealth struct {
+	Status   string          `json:"status"`
+	Ready    bool            `json:"ready"`
+	Replicas []ReplicaHealth `json:"replicas"`
+	Rollout  *RolloutStatus  `json:"rollout,omitempty"`
+}
+
+// handleHealth reports gateway and per-replica state (cold path).
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	h := GatewayHealth{Status: "ok", Ready: g.pool.healthyCount() > 0, Replicas: g.pool.health()}
+	if !h.Ready {
+		h.Status = "degraded"
+	}
+	if st := g.rollout.status(); st.Active {
+		h.Rollout = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleLive: the gateway process is up. Never 503s.
+func handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.Write(liveBody)
+}
+
+// handleReady: the gateway can do useful work — at least one replica is in
+// the ring. Load balancers in front of a gateway tier probe this.
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header()["Content-Type"] = jsonContentType
+	if g.pool.healthyCount() == 0 {
+		w.Header()["Retry-After"] = retryAfter1
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(notReadyBody)
+		return
+	}
+	w.Write(readyBody)
+}
+
+var (
+	liveBody     = []byte(`{"status":"live"}` + "\n")
+	readyBody    = []byte(`{"status":"ready"}` + "\n")
+	notReadyBody = []byte(`{"status":"not ready"}` + "\n")
+)
+
+// handleMetrics renders the Prometheus exposition (cold path).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.tel.reg.WritePrometheus(w)
+}

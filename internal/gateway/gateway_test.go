@@ -1,0 +1,433 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/dataset"
+	"dace/internal/executor"
+	"dace/internal/plan"
+	"dace/internal/schema"
+	"dace/internal/serve"
+)
+
+// trainedModel trains one small model shared by every replica in a test
+// fleet, so all replicas predict identically and response bytes can be
+// compared across routes.
+func trainedModel(t *testing.T) (*core.Model, []dataset.Sample) {
+	t.Helper()
+	samples, err := dataset.ComplexWorkload(schema.BenchmarkDB("airline"), 80, executor.M1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DK, cfg.DV = 32, 32
+	cfg.Hidden = []int{32, 16, 1}
+	cfg.Epochs = 8
+	return core.Train(dataset.Plans(samples), cfg), samples
+}
+
+// fleet is a test replica fleet plus a gateway routing over it.
+type fleet struct {
+	servers  []*serve.Server
+	backends []*httptest.Server
+	gw       *Gateway
+	front    *httptest.Server
+}
+
+func newFleet(t *testing.T, m *core.Model, n int, mut ...func(int, *serve.Server)) *fleet {
+	t.Helper()
+	f := &fleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := serve.New(m)
+		for _, fn := range mut {
+			fn(i, s)
+		}
+		b := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.backends = append(f.backends, b)
+		urls[i] = b.URL
+	}
+	gw, err := New(Config{
+		Replicas:       urls,
+		HealthInterval: 20 * time.Millisecond,
+		MirrorEvery:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.gw = gw
+	f.front = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		f.front.Close()
+		gw.Close()
+		for i, b := range f.backends {
+			b.Close()
+			f.servers[i].Close()
+		}
+	})
+	return f
+}
+
+func post(t *testing.T, url, ctype string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func planJSON(t *testing.T, p *plan.Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGatewayPredictMatchesDirect: a routed prediction is byte-identical
+// to the same request served directly by a replica, for both wire formats.
+func TestGatewayPredictMatchesDirect(t *testing.T) {
+	m, samples := trainedModel(t)
+	f := newFleet(t, m, 3)
+	direct := f.backends[0].URL
+
+	for i := 0; i < 6; i++ {
+		p := samples[i].Plan
+		jsonBody := planJSON(t, p)
+		binBody, err := plan.AppendBinary(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		st, _, want := post(t, direct+"/predict", "application/json", jsonBody)
+		if st != http.StatusOK {
+			t.Fatalf("direct status %d: %s", st, want)
+		}
+		st, hdr, got := post(t, f.front.URL+"/predict", "application/json", jsonBody)
+		if st != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("routed JSON plan %d: status %d body mismatch", i, st)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		st, _, got = post(t, f.front.URL+"/predict", plan.BinaryContentType, binBody)
+		if st != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("routed binary plan %d: status %d body mismatch", i, st)
+		}
+	}
+}
+
+// TestGatewayPredictPG: the pg explain format routes through re-encoding.
+func TestGatewayPredictPG(t *testing.T) {
+	m, _ := trainedModel(t)
+	f := newFleet(t, m, 2)
+	pg := `[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t",
+		"Total Cost": 1234.5, "Plan Rows": 10000,
+		"Actual Total Time": 40.0, "Actual Rows": 9000, "Actual Loops": 1}}]`
+	st, _, body := post(t, f.front.URL+"/predict?format=pg&database=prod", "application/json", []byte(pg))
+	if st != http.StatusOK {
+		t.Fatalf("status %d: %s", st, body)
+	}
+	var pred struct {
+		RootMS float64 `json:"root_ms"`
+	}
+	if err := json.Unmarshal(body, &pred); err != nil || pred.RootMS <= 0 {
+		t.Fatalf("bad prediction %s (%v)", body, err)
+	}
+}
+
+// TestGatewayBatchMatchesDirect: a sharded batch merges back to the exact
+// bytes one replica serving the whole batch produces, for JSON and binary
+// request encodings, across fleet sizes (1 = pure split/merge identity,
+// 3 = true multi-shard merge).
+func TestGatewayBatchMatchesDirect(t *testing.T) {
+	m, samples := trainedModel(t)
+	plans := make([]*plan.Plan, 12)
+	for i := range plans {
+		plans[i] = samples[i].Plan
+	}
+	var jsonBody bytes.Buffer
+	jsonBody.WriteByte('[')
+	for i, p := range plans {
+		if i > 0 {
+			jsonBody.WriteByte(',')
+		}
+		if err := p.WriteJSON(&jsonBody); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jsonBody.WriteByte(']')
+	binBody, err := plan.AppendBinaryBatch(nil, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 3} {
+		f := newFleet(t, m, n)
+		st, _, want := post(t, f.backends[0].URL+"/predict/batch", "application/json", jsonBody.Bytes())
+		if st != http.StatusOK {
+			t.Fatalf("direct status %d: %s", st, want)
+		}
+		st, _, got := post(t, f.front.URL+"/predict/batch", "application/json", jsonBody.Bytes())
+		if st != http.StatusOK {
+			t.Fatalf("n=%d routed status %d: %s", n, st, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d JSON batch bytes diverge from direct response", n)
+		}
+		st, _, got = post(t, f.front.URL+"/predict/batch", plan.BinaryContentType, binBody)
+		if st != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("n=%d binary batch: status %d, match=%v", n, st, bytes.Equal(got, want))
+		}
+	}
+}
+
+// TestGatewayKillReplicaZeroFailures: killing a replica mid-stream must
+// not fail a single request — the transport error ejects it and the
+// request retries on the remapped ring.
+func TestGatewayKillReplicaZeroFailures(t *testing.T) {
+	m, samples := trainedModel(t)
+	f := newFleet(t, m, 3)
+
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		var err error
+		if bodies[i], err = plan.AppendBinary(nil, samples[i].Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send := func() {
+		t.Helper()
+		for i, b := range bodies {
+			st, _, resp := post(t, f.front.URL+"/predict", plan.BinaryContentType, b)
+			if st != http.StatusOK {
+				t.Fatalf("plan %d: status %d: %s", i, st, resp)
+			}
+		}
+	}
+	send() // warm: all replicas healthy
+
+	// Kill one replica abruptly (no graceful drain).
+	f.backends[1].CloseClientConnections()
+	f.backends[1].Close()
+	send() // every request must still succeed via eject + retry
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		healthy := 0
+		for _, rh := range f.gw.Replicas() {
+			if rh.Healthy {
+				healthy++
+			}
+		}
+		if healthy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("killed replica was never ejected by health checks")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	send() // post-ejection: routing avoids the dead replica outright
+}
+
+// TestGatewayBackpressure: a saturated replica turns into 503+Retry-After
+// at the gateway, not a queue.
+func TestGatewayBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{}, 16)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz/ready", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ready"}`))
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		blocked <- struct{}{}
+		<-release
+		w.Write([]byte(`{"root_ms":1}`))
+	})
+	backend := httptest.NewServer(mux)
+	defer backend.Close()
+
+	gw, err := New(Config{Replicas: []string{backend.URL}, MaxInflight: 1, HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	front := httptest.NewServer(gw.Handler())
+	defer front.Close()
+	// Unblock the parked handler before the servers close (defers are LIFO).
+	defer close(release)
+
+	body := tinyPlanBinary(t, 0)
+	go http.Post(front.URL+"/predict", plan.BinaryContentType, bytes.NewReader(body))
+	<-blocked // the one in-flight slot is taken
+
+	resp, err := http.Post(front.URL+"/predict", plan.BinaryContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestGatewayReadiness: liveness is unconditional; readiness tracks
+// whether any replica is routable.
+func TestGatewayReadiness(t *testing.T) {
+	backend := httptest.NewServer(http.NotFoundHandler()) // never ready
+	gw, err := New(Config{Replicas: []string{backend.URL}, HealthInterval: 10 * time.Millisecond, FailAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	front := httptest.NewServer(gw.Handler())
+	defer front.Close()
+	backend.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/healthz/ready")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("not-ready without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never went unready with a dead fleet")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(front.URL + "/healthz/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness must hold while unready, got %d", resp.StatusCode)
+	}
+
+	// Routed traffic answers 503, not a hang or 5xx soup.
+	st, hdr, _ := post(t, front.URL+"/predict", plan.BinaryContentType, tinyPlanBinary(t, 0))
+	if st != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("routing with no fleet: status %d", st)
+	}
+}
+
+// TestGatewayHealthReport: /healthz aggregates per-replica state.
+func TestGatewayHealthReport(t *testing.T) {
+	m, _ := trainedModel(t)
+	f := newFleet(t, m, 2)
+	resp, err := http.Get(f.front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h GatewayHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.Status != "ok" || len(h.Replicas) != 2 {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+// TestGatewayBadRequests: client errors are answered at the gateway,
+// before any replica sees bytes.
+func TestGatewayBadRequests(t *testing.T) {
+	m, _ := trainedModel(t)
+	f := newFleet(t, m, 1)
+	cases := []struct {
+		path, ctype, body string
+		want              int
+	}{
+		{"/predict?format=nope", "application/json", "{}", http.StatusBadRequest},
+		{"/predict?format=pg", plan.BinaryContentType, "xx", http.StatusBadRequest},
+		{"/predict", "application/json", "{not json", http.StatusBadRequest},
+		{"/predict", plan.BinaryContentType, "xx", http.StatusBadRequest},
+		{"/predict/batch", "application/json", "{}", http.StatusBadRequest},
+		{"/predict/batch", "application/json", `[{"node_type": -1}]`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		st, _, _ := post(t, f.front.URL+c.path, c.ctype, []byte(c.body))
+		if st != c.want {
+			t.Errorf("%s (%s): status %d want %d", c.path, c.ctype, st, c.want)
+		}
+	}
+	resp, err := http.Get(f.front.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" {
+		t.Fatalf("GET /predict: %d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestGatewayEmptyBatch routes nothing and answers locally.
+func TestGatewayEmptyBatch(t *testing.T) {
+	m, _ := trainedModel(t)
+	f := newFleet(t, m, 2)
+	st, _, body := post(t, f.front.URL+"/predict/batch", "application/json", []byte("[]"))
+	if st != http.StatusOK || string(body) != "[]\n" {
+		t.Fatalf("empty batch: %d %q", st, body)
+	}
+}
+
+// TestGatewayShardDistribution: with enough distinct plans and several
+// replicas, every replica serves some traffic (the consistent-hash split
+// is balanced enough that none sits idle).
+func TestGatewayShardDistribution(t *testing.T) {
+	m, samples := trainedModel(t)
+	f := newFleet(t, m, 4)
+	for i := 0; i < 60 && i < len(samples); i++ {
+		b := planJSON(t, samples[i].Plan)
+		if st, _, resp := post(t, f.front.URL+"/predict", "application/json", b); st != http.StatusOK {
+			t.Fatalf("plan %d: %d %s", i, st, resp)
+		}
+	}
+	for _, rh := range f.gw.Replicas() {
+		if rh.Requests == 0 {
+			t.Errorf("replica %s served no traffic across 60 distinct plans", rh.Name)
+		}
+	}
+}
+
+// tinyPlanBinary encodes a minimal valid plan for tests that need a
+// routable body without training a model.
+func tinyPlanBinary(t *testing.T, i int) []byte {
+	t.Helper()
+	p := &plan.Plan{Database: "d", Root: &plan.Node{
+		Type: plan.NodeType(i % 8), EstRows: 10, EstCost: float64(100 + i), ActualRows: 9, ActualMS: 1,
+	}}
+	b, err := plan.AppendBinary(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

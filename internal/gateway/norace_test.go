@@ -1,0 +1,5 @@
+//go:build !race
+
+package gateway
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package gateway
+
+// raceEnabled gates allocation-count regression tests: the race detector
+// instruments allocations and makes sync.Pool intentionally drop items, so
+// AllocsPerRun guards are only meaningful without it.
+const raceEnabled = true

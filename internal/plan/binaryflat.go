@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Flat-plan binary encoding: the gateway's re-encode path. A routing front
+// decodes whatever the client sent (streaming JSON or a binary frame) into a
+// FlatPlan, picks a replica by fingerprint, and forwards the plan on the
+// compact binary wire — so the gateway→replica hop is always the cheap
+// encoding regardless of what the client spoke. Encoding straight off the
+// flat arrays keeps that path allocation-free: no *Node tree is ever built
+// to route a request.
+
+// AppendBinaryFrameHeader appends the frame magic and current wire version.
+// Callers assembling a batch frame follow it with AppendUvarint(count) and
+// the per-plan bodies (AppendBinaryBody); a single-plan frame is the header
+// followed by one body.
+func AppendBinaryFrameHeader(dst []byte) []byte {
+	return append(dst, binMagic0, binMagic1, BinaryVersion)
+}
+
+// AppendBinaryBatchCount appends the plan count of a binary batch frame,
+// between the header and the bodies.
+func AppendBinaryBatchCount(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// AppendBinaryBody appends the plan's unframed binary body — byte-identical
+// to what AppendBinary produces for the equivalent tree, minus the frame
+// header. The plan must satisfy Check (node types within the one-hot range,
+// which also fits the encoding's one type byte); an out-of-range type is an
+// error rather than a silently corrupted frame.
+func (f *FlatPlan) AppendBinaryBody(dst []byte) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(f.database)))
+	dst = append(dst, f.database...)
+	dst = binary.AppendUvarint(dst, uint64(f.Len()))
+	for i := range f.Types {
+		if f.Types[i] < 0 || f.Types[i] > 0xFF {
+			return nil, fmt.Errorf("plan: node type %d does not fit the binary encoding", int(f.Types[i]))
+		}
+		dst = append(dst, byte(f.Types[i]))
+		dst = binary.AppendUvarint(dst, uint64(uint32(f.ChildCount[i])))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.EstRows[i]))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.EstCost[i]))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.ActualRows[i]))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.ActualMS[i]))
+	}
+	return dst, nil
+}
+
+// AppendBinaryFrame appends one complete single-plan frame (header + body)
+// — the /predict upstream body.
+func (f *FlatPlan) AppendBinaryFrame(dst []byte) ([]byte, error) {
+	return f.AppendBinaryBody(AppendBinaryFrameHeader(dst))
+}

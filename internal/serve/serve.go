@@ -8,7 +8,12 @@
 //	POST /predict                body: plan JSON (plan.WriteJSON format)
 //	POST /predict?format=pg      body: PostgreSQL EXPLAIN (FORMAT JSON) output
 //	POST /predict/batch          body: JSON array of plans (either format)
-//	GET  /healthz                liveness + model metadata + cache/queue stats
+//	GET  /healthz                model metadata + cache/queue stats
+//	GET  /healthz/live           liveness: 200 while the process can answer
+//	GET  /healthz/ready          readiness: 503+Retry-After while draining
+//	                             or before the first model load
+//	POST /model/load?version=N   swap to a versioned artifact (Loader set)
+//	GET  /model                  currently served model version
 //
 // The serving pipeline (all stages optional, enabled via Config) is the
 // standard inference-server shape — coalesce, then batch, then fused
@@ -34,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dace/internal/core"
@@ -106,6 +112,20 @@ type Server struct {
 	Feedback FeedbackSink
 	Adapt    Adapter
 
+	// Loader, when set before Handler is called, enables POST /model/load:
+	// the gateway's rollout path asks a replica to swap to a versioned
+	// artifact, and the replica resolves the version through this hook
+	// (daced wires it to adapt.LoadVersion on -model-dir).
+	Loader func(version int) (*core.Model, error)
+
+	// ready gates /healthz/ready: true only once a model is loaded, and
+	// pinned false by draining from BeginDrain/Close onward. A gateway
+	// health-checks readiness, so flipping it is what removes a replica
+	// from rotation *before* SIGTERM starts tearing connections down.
+	ready    atomic.Bool
+	draining atomic.Bool
+	version  atomic.Int64 // served model artifact version (0 = unversioned seed)
+
 	cfg    Config
 	preds  *servecache.Cache[[]float64] // plan fingerprint → DFS predictions
 	bodies *servecache.Cache[[]byte]    // request bytes → response bytes
@@ -121,6 +141,7 @@ func New(m *core.Model) *Server { return NewWithConfig(m, Config{}) }
 // starts the micro-batcher if enabled. Call Close to drain it on shutdown.
 func NewWithConfig(m *core.Model, cfg Config) *Server {
 	s := &Server{model: m, cfg: cfg}
+	s.ready.Store(m != nil)
 	if cfg.CacheSize > 0 {
 		s.preds = servecache.New[[]float64](cfg.CacheSize, cfg.CacheTTL)
 		s.bodies = servecache.New[[]byte](cfg.CacheSize, cfg.CacheTTL)
@@ -150,10 +171,30 @@ func NewWithConfig(m *core.Model, cfg Config) *Server {
 // Close drains the micro-batcher: queued requests complete, later ones are
 // rejected with 503. Safe to call on a batcher-less server and idempotent.
 func (s *Server) Close() {
+	s.BeginDrain()
 	if s.bat != nil {
 		s.bat.close()
 	}
 }
+
+// BeginDrain pins readiness false for the rest of the server's life:
+// /healthz/ready answers 503 from here on, so a gateway's next probe ejects
+// this replica *before* the listener stops accepting. Call it on SIGTERM,
+// ahead of http.Server.Shutdown — the probe-interval head start is what
+// keeps gateway ejection from racing the drain. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports whether the server would answer /healthz/ready with 200:
+// a model is loaded and draining has not begun.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// SetVersion records the served model's artifact version (what GET /model
+// and the health endpoints report). daced seeds it from the model-dir
+// manifest at startup.
+func (s *Server) SetVersion(v int) { s.version.Store(int64(v)) }
+
+// ModelVersion returns the served model's artifact version.
+func (s *Server) ModelVersion() int { return int(s.version.Load()) }
 
 // SetModel atomically replaces the served model and flushes the prediction
 // caches — predictions made by the old model must never be served for the
@@ -164,6 +205,9 @@ func (s *Server) SetModel(m *core.Model) {
 	s.mu.Lock()
 	s.model = m
 	s.mu.Unlock()
+	if m != nil {
+		s.ready.Store(true) // first model load turns readiness on (drain still pins it off)
+	}
 	if s.preds != nil {
 		s.preds.Flush()
 	}
@@ -185,6 +229,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
 	mux.HandleFunc("/predict/batch", s.instrument("/predict/batch", s.handlePredictBatch))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
+	if s.Loader != nil {
+		mux.HandleFunc("/model/load", s.instrument("/model/load", s.handleModelLoad))
+		mux.HandleFunc("/model", s.instrument("/model", s.handleModel))
+	}
 	if s.Feedback != nil {
 		mux.HandleFunc("/feedback", s.instrument("/feedback", s.handleFeedback))
 	}
@@ -491,14 +541,16 @@ func (s *Server) batchPreds(plans []*plan.Plan, keys []servecache.Key) [][]float
 // Health is the /healthz response. PlanCache/BodyCache/Queue are present
 // only when the corresponding pipeline stage is enabled.
 type Health struct {
-	Status      string            `json:"status"`
-	Build       version.Info      `json:"build"`
-	Parameters  int               `json:"parameters"`
-	SizeMB      float64           `json:"size_mb"`
-	LoRAEnabled bool              `json:"lora_enabled"`
-	PlanCache   *servecache.Stats `json:"plan_cache,omitempty"`
-	BodyCache   *servecache.Stats `json:"body_cache,omitempty"`
-	Queue       *QueueStats       `json:"queue,omitempty"`
+	Status       string            `json:"status"`
+	Ready        bool              `json:"ready"`
+	ModelVersion int               `json:"model_version"`
+	Build        version.Info      `json:"build"`
+	Parameters   int               `json:"parameters"`
+	SizeMB       float64           `json:"size_mb"`
+	LoRAEnabled  bool              `json:"lora_enabled"`
+	PlanCache    *servecache.Stats `json:"plan_cache,omitempty"`
+	BodyCache    *servecache.Stats `json:"body_cache,omitempty"`
+	Queue        *QueueStats       `json:"queue,omitempty"`
 }
 
 // QueueStats snapshots the micro-batcher.
@@ -517,11 +569,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.Model()
 	h := Health{
-		Status:      "ok",
-		Build:       version.Get(),
-		Parameters:  nn.NumParams(m.Params()),
-		SizeMB:      nn.SizeMB(m.Params()),
-		LoRAEnabled: m.LoRAEnabled(),
+		Status:       "ok",
+		Ready:        s.Ready(),
+		ModelVersion: s.ModelVersion(),
+		Build:        version.Get(),
+	}
+	if m != nil {
+		h.Parameters = nn.NumParams(m.Params())
+		h.SizeMB = nn.SizeMB(m.Params())
+		h.LoRAEnabled = m.LoRAEnabled()
 	}
 	if s.preds != nil {
 		pc, bc := s.preds.Stats(), s.bodies.Stats()
