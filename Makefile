@@ -1,9 +1,10 @@
 GO ?= go
 
 # Packages that gained concurrency (worker-pool training / batch inference,
-# pooled tapes and scratch encoders, pooled wire decoders) and must stay
-# clean under the race detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry
+# pooled tapes and scratch encoders, pooled wire decoders, the shared
+# scorer memo behind the optimizer's cost-model hook) and must stay clean
+# under the race detector.
+RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry ./internal/optimizer
 
 .PHONY: all fmt vet build test race bench ci
 
@@ -31,13 +32,19 @@ race:
 bench:
 	$(GO) run ./cmd/bench -quick
 
-# The CI smoke gate: quick benchmark (serve + adapt + gateway scenarios
-# included) that fails on a >35% throughput regression against the
-# committed baseline JSON. The baseline records per-scenario floors (min
+# The CI smoke gate: quick benchmark (serve + adapt + gateway + score
+# scenarios included) that fails on a >35% throughput regression against
+# the committed baseline JSON, or on memoized candidate scoring dropping
+# below its absolute 5× bar. The baseline records per-scenario floors (min
 # over several runs) — single-core runners jitter ~±30%, and the gate is
 # for catching real regressions, not scheduler noise.
 bench-check:
 	$(GO) run ./cmd/bench -quick -out /tmp/dace-bench-check.json -baseline BENCH_2026-08-09.json -check -max-regress 35
+
+# Optimizer-in-the-loop scoring scenarios only: memoized vs unmemoized
+# candidate throughput and DP join-search wall-clock (classic vs DACE).
+bench-score:
+	$(GO) run ./cmd/bench -quick -only score
 
 # The raw go-test benchmarks (heavier; regenerates paper artifacts too with
 # `-bench .`).

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"dace/internal/core"
@@ -126,7 +127,16 @@ func main() {
 	baselinePath := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: built-in PR 1 numbers)")
 	check := flag.Bool("check", false, "exit non-zero if any scenario's plans/sec regresses more than -max-regress vs the baseline")
 	maxRegress := flag.Float64("max-regress", 25, "regression threshold for -check, percent")
+	only := flag.String("only", "", "comma-separated scenario groups to run (train,infer,decode,telemetry,serve,adapt,gateway,score); empty = all")
 	flag.Parse()
+
+	onlySet := map[string]bool{}
+	for _, g := range strings.Split(*only, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			onlySet[g] = true
+		}
+	}
+	group := func(name string) bool { return len(onlySet) == 0 || onlySet[name] }
 
 	if *runs == 0 {
 		if *quick {
@@ -176,12 +186,14 @@ func main() {
 		cfg.Workers = workers
 		return cfg
 	}
-	for _, workers := range workerCounts() {
-		cfg := trainCfg(workers)
-		rep.Results = append(rep.Results, measure(
-			fmt.Sprintf("train/workers=%d", workers), 1, nTrain*trainEpochs, *warmup, *runs,
-			func(int) { core.Train(train, cfg) }))
-		fmt.Fprintf(os.Stderr, "bench: %s done\n", rep.Results[len(rep.Results)-1].Name)
+	if group("train") {
+		for _, workers := range workerCounts() {
+			cfg := trainCfg(workers)
+			rep.Results = append(rep.Results, measure(
+				fmt.Sprintf("train/workers=%d", workers), 1, nTrain*trainEpochs, *warmup, *runs,
+				func(int) { core.Train(train, cfg) }))
+			fmt.Fprintf(os.Stderr, "bench: %s done\n", rep.Results[len(rep.Results)-1].Name)
+		}
 	}
 
 	// One model for every inference scenario, trained deterministically.
@@ -189,72 +201,97 @@ func main() {
 	infCfg.Epochs = 4
 	m := core.Train(train, infCfg)
 
-	rep.Results = append(rep.Results, measure("predict", len(test), 1, *warmup, *runs,
-		func(i int) { m.Predict(test[i]) }))
-	rep.Results = append(rep.Results, measure("predict_subplans", len(test), 1, *warmup, *runs,
-		func(i int) { m.PredictSubPlans(test[i]) }))
-	for _, workers := range workerCounts() {
-		w := workers
-		rep.Results = append(rep.Results, measure(
-			fmt.Sprintf("predict_batch/workers=%d", w), 1, len(test), *warmup, *runs,
-			func(int) { m.PredictBatch(test, w) }))
+	if group("infer") {
+		rep.Results = append(rep.Results, measure("predict", len(test), 1, *warmup, *runs,
+			func(i int) { m.Predict(test[i]) }))
+		rep.Results = append(rep.Results, measure("predict_subplans", len(test), 1, *warmup, *runs,
+			func(i int) { m.PredictSubPlans(test[i]) }))
+		for _, workers := range workerCounts() {
+			w := workers
+			rep.Results = append(rep.Results, measure(
+				fmt.Sprintf("predict_batch/workers=%d", w), 1, len(test), *warmup, *runs,
+				func(int) { m.PredictBatch(test, w) }))
+		}
+		predsBuf := make([]float64, 0, 256)
+		rep.Results = append(rep.Results, measure("predict_subplans_append", len(test), 1, *warmup, *runs,
+			func(i int) { predsBuf = m.AppendPredictSubPlans(predsBuf[:0], test[i]) }))
 	}
-	predsBuf := make([]float64, 0, 256)
-	rep.Results = append(rep.Results, measure("predict_subplans_append", len(test), 1, *warmup, *runs,
-		func(i int) { predsBuf = m.AppendPredictSubPlans(predsBuf[:0], test[i]) }))
 
-	// Wire-decode microbenchmarks over the test plans: the tree decoder the
-	// legacy path materializes, the streaming flat decoder, and the compact
-	// binary frame decoder. These isolate parsing from inference.
-	jsonBodies := make([][]byte, len(test))
-	binBodies := make([][]byte, len(test))
-	for i, p := range test {
-		var buf bytes.Buffer
-		if err := p.WriteJSON(&buf); err != nil {
-			log.Fatalf("bench: encode plan: %v", err)
+	if group("decode") {
+		// Wire-decode microbenchmarks over the test plans: the tree decoder
+		// the legacy path materializes, the streaming flat decoder, and the
+		// compact binary frame decoder. These isolate parsing from inference.
+		jsonBodies := make([][]byte, len(test))
+		binBodies := make([][]byte, len(test))
+		for i, p := range test {
+			var buf bytes.Buffer
+			if err := p.WriteJSON(&buf); err != nil {
+				log.Fatalf("bench: encode plan: %v", err)
+			}
+			jsonBodies[i] = append([]byte(nil), buf.Bytes()...)
+			bin, err := plan.AppendBinary(nil, p)
+			if err != nil {
+				log.Fatalf("bench: encode binary plan: %v", err)
+			}
+			binBodies[i] = bin
 		}
-		jsonBodies[i] = append([]byte(nil), buf.Bytes()...)
-		bin, err := plan.AppendBinary(nil, p)
-		if err != nil {
-			log.Fatalf("bench: encode binary plan: %v", err)
-		}
-		binBodies[i] = bin
+		rep.Results = append(rep.Results, measure("decode/json_tree", len(test), 1, *warmup, *runs,
+			func(i int) {
+				if _, err := plan.ReadJSON(bytes.NewReader(jsonBodies[i])); err != nil {
+					log.Fatalf("bench: decode/json_tree: %v", err)
+				}
+			}))
+		var dec plan.Decoder
+		rep.Results = append(rep.Results, measure("decode/json_stream", len(test), 1, *warmup, *runs,
+			func(i int) {
+				if _, err := dec.Decode(jsonBodies[i]); err != nil {
+					log.Fatalf("bench: decode/json_stream: %v", err)
+				}
+			}))
+		rep.Results = append(rep.Results, measure("decode/binary_stream", len(test), 1, *warmup, *runs,
+			func(i int) {
+				if _, err := dec.DecodeBinary(binBodies[i]); err != nil {
+					log.Fatalf("bench: decode/binary_stream: %v", err)
+				}
+			}))
 	}
-	rep.Results = append(rep.Results, measure("decode/json_tree", len(test), 1, *warmup, *runs,
-		func(i int) {
-			if _, err := plan.ReadJSON(bytes.NewReader(jsonBodies[i])); err != nil {
-				log.Fatalf("bench: decode/json_tree: %v", err)
-			}
-		}))
-	var dec plan.Decoder
-	rep.Results = append(rep.Results, measure("decode/json_stream", len(test), 1, *warmup, *runs,
-		func(i int) {
-			if _, err := dec.Decode(jsonBodies[i]); err != nil {
-				log.Fatalf("bench: decode/json_stream: %v", err)
-			}
-		}))
-	rep.Results = append(rep.Results, measure("decode/binary_stream", len(test), 1, *warmup, *runs,
-		func(i int) {
-			if _, err := dec.DecodeBinary(binBodies[i]); err != nil {
-				log.Fatalf("bench: decode/binary_stream: %v", err)
-			}
-		}))
 
 	// Telemetry overhead: instrumented vs uninstrumented Predict, gated
 	// below under -check (0 allocs, <5% latency).
-	telOverhead, telAllocs := benchTelemetry(&rep, m, test, *warmup, *runs)
+	telOverhead, telAllocs := -1.0, -1.0
+	if group("telemetry") {
+		telOverhead, telAllocs = benchTelemetry(&rep, m, test, *warmup, *runs)
+	}
+
+	// Optimizer-in-the-loop scenarios: memoized vs unmemoized candidate
+	// scoring and DP join-search wall-clock, classic vs DACE-guided. These
+	// are pure-CPU microbenches; they run before the server scenarios below,
+	// whose background goroutines (probes, pools winding down) would
+	// contaminate millisecond-scale ops on small GOMAXPROCS.
+	scoreSpeedup := -1.0
+	if group("score") {
+		scoreSpeedup = benchScore(&rep, m, *quick, *warmup, *runs)
+	}
 
 	// End-to-end serving scenarios: concurrent HTTP clients against the
 	// cached+batched pipeline and the uncached baseline server.
-	speedup := benchServe(&rep, m, test, *quick)
+	speedup := 0.0
+	if group("serve") {
+		speedup = benchServe(&rep, m, test, *quick)
+	}
 
 	// Online-adaptation scenarios: fine-tune throughput, promotion swap
 	// latency, and serving latency during an in-flight fine-tune.
-	benchAdapt(&rep, m, test, *quick, *warmup, *runs)
+	if group("adapt") {
+		benchAdapt(&rep, m, test, *quick, *warmup, *runs)
+	}
 
 	// Cluster scenarios: the fingerprint-sharded gateway routing to
 	// replicated servers, including the kill-one-replica resilience run.
-	gwSpeedup := benchGateway(&rep, m, test, *quick)
+	gwSpeedup := 0.0
+	if group("gateway") {
+		gwSpeedup = benchGateway(&rep, m, test, *quick)
+	}
 
 	path := *out
 	if path == "" {
@@ -280,6 +317,10 @@ func main() {
 		fmt.Printf("gateway routed throughput, 4 replicas vs 1, at c=64 / 99%% repeated plans: **%.2f×** (GOMAXPROCS=%d)\n\n",
 			gwSpeedup, runtime.GOMAXPROCS(0))
 	}
+	if scoreSpeedup >= 0 {
+		fmt.Printf("memoized candidate scoring on the DP-search workload: **%.2f×** vs unmemoized per-candidate sub-plan inference\n\n",
+			scoreSpeedup)
+	}
 
 	if *check {
 		if regressions := checkRegressions(rep, baseline, *maxRegress); len(regressions) > 0 {
@@ -293,15 +334,27 @@ func main() {
 		// instrumented hot path must stay allocation-free and within 5%.
 		// Any real per-op allocation measures >= 1; the 0.1 threshold only
 		// tolerates background-runtime noise in the memstats delta.
-		if telAllocs > 0.1 {
-			fmt.Fprintf(os.Stderr, "bench: REGRESSION instrumented predict allocates (%.2f allocs/op, want 0)\n", telAllocs)
-			os.Exit(1)
+		if telAllocs >= 0 {
+			if telAllocs > 0.1 {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION instrumented predict allocates (%.2f allocs/op, want 0)\n", telAllocs)
+				os.Exit(1)
+			}
+			if telOverhead > 5 {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION telemetry overhead %.2f%% exceeds the 5%% budget\n", telOverhead)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: telemetry within budget (%.2f%% overhead, %.2f allocs/op)\n", telOverhead, telAllocs)
 		}
-		if telOverhead > 5 {
-			fmt.Fprintf(os.Stderr, "bench: REGRESSION telemetry overhead %.2f%% exceeds the 5%% budget\n", telOverhead)
-			os.Exit(1)
+		// The memoization budget is absolute too: the scorer must beat naive
+		// per-candidate sub-plan inference by at least 5× on the DP-search
+		// candidate workload (the optimizer-in-the-loop acceptance bar).
+		if scoreSpeedup >= 0 {
+			if scoreSpeedup < 5 {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION memoized candidate scoring only %.2f× vs unmemoized, want >= 5×\n", scoreSpeedup)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: memoized candidate scoring %.2f× vs unmemoized (>= 5× required)\n", scoreSpeedup)
 		}
-		fmt.Fprintf(os.Stderr, "bench: telemetry within budget (%.2f%% overhead, %.2f allocs/op)\n", telOverhead, telAllocs)
 	}
 }
 

@@ -23,9 +23,9 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated artifacts: fig4,fig5,tab1,fig6,tab2,fig7,fig8,fig9,fig10,fig11,fig12 or all")
+	run := flag.String("run", "all", "comma-separated artifacts: fig4,fig5,tab1,fig6,tab2,fig7,fig8,fig9,fig10,fig11,fig12,planq or all")
 	scale := flag.String("scale", "default", "experiment scale: quick, default, big")
-	dbs := flag.String("dbs", "", "fig5 only: comma-separated held-out databases (default: all 20)")
+	dbs := flag.String("dbs", "", "fig5/planq only: comma-separated databases (default: all 20)")
 	workers := flag.Int("workers", 0, "training/evaluation worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
@@ -84,6 +84,7 @@ func main() {
 	step("fig10", func() { lab.Fig10() })
 	step("fig11", func() { lab.Fig11() })
 	step("fig12", func() { lab.Fig12(nil) })
+	step("planq", func() { lab.PlanQuality(fig5DBs) })
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "nothing to run: unknown artifact in %q\n", *run)

@@ -419,6 +419,25 @@ func (m *Model) PredictSubPlansBatch(plans []*plan.Plan, workers int) [][]float6
 	return out
 }
 
+// AppendPredictSubPlansBatch is PredictSubPlansBatch with caller-owned
+// result storage: dst is grown to one slice per plan and each element is
+// refilled in place (dst[i] = AppendPredictSubPlans(dst[i][:0], …)), so a
+// caller that recycles the same dst across batches reaches zero
+// steady-state allocations for the result buffers once every element has
+// enough capacity. Output order matches input order and values are
+// bitwise-identical to PredictSubPlansBatch. Extra trailing elements of
+// dst beyond len(plans) are sliced off but remain in the backing array.
+func (m *Model) AppendPredictSubPlansBatch(dst [][]float64, plans []*plan.Plan, workers int) [][]float64 {
+	for len(dst) < len(plans) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(plans)]
+	nn.ParallelFor(len(plans), workers, func(i int) {
+		dst[i] = m.AppendPredictSubPlans(dst[i][:0], plans[i])
+	})
+	return dst
+}
+
 // PredictSubPlans returns estimated latencies (ms) for every node in DFS
 // order — the parallel sub-plan prediction of Eq. (6).
 func (m *Model) PredictSubPlans(p *plan.Plan) []float64 {

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dace/internal/executor"
+	"dace/internal/plan"
+	"dace/internal/schema"
+)
+
+// scorerModel trains a small model for scorer tests (2 epochs — the scorer
+// contract is bitwise arithmetic identity, not accuracy).
+func scorerModel(t *testing.T, plans []*plan.Plan) *Model {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	return Train(plans, cfg)
+}
+
+// dpCandidates turns workload plans into a DP-like candidate stream: every
+// subtree of every plan, in DFS order. Exactly the overlap profile a
+// Selinger enumeration produces — each candidate's operands appear earlier
+// in the stream.
+func dpCandidates(plans []*plan.Plan) []*plan.Node {
+	var cands []*plan.Node
+	for _, p := range plans {
+		cands = append(cands, p.DFS()...)
+	}
+	return cands
+}
+
+// TestScorerBitwiseIdentity is the tentpole acceptance contract: every
+// score out of the memoized path equals, bit for bit, the root entry of
+// the unmemoized per-candidate AppendPredictSubPlans — on first sight
+// (miss: spliced encoding + root-row kernels) and on every repeat (hit:
+// stored prediction), across interleaved candidates from many plans.
+func TestScorerBitwiseIdentity(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 40, executor.M1())
+	m := scorerModel(t, plans)
+	sc := NewScorer(m)
+	cands := dpCandidates(plans)
+	var buf []float64
+	for pass := 0; pass < 2; pass++ { // pass 0 mixes hits+misses, pass 1 is all hits
+		got := sc.ScoreCandidates(cands)
+		for i, c := range cands {
+			buf = m.AppendPredictSubPlans(buf[:0], &plan.Plan{Root: c})
+			if math.Float64bits(got[i]) != math.Float64bits(buf[0]) {
+				t.Fatalf("pass %d candidate %d: memoized score %v != unmemoized root prediction %v",
+					pass, i, got[i], buf[0])
+			}
+		}
+	}
+	st := sc.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("degenerate memo traffic: %+v", st)
+	}
+	// The DP stream visits every subtree before its parents' rivals, so the
+	// second pass (and every repeated subtree in the first) must hit.
+	if st.Hits < st.Misses {
+		t.Fatalf("expected hit-dominated traffic on overlapping candidates: %+v", st)
+	}
+	if st.NodesCopied == 0 {
+		t.Fatalf("assembly never spliced a memoized block: %+v", st)
+	}
+}
+
+// TestScorerSplicedAssembly forces the interesting miss path: score the
+// leaves first, then their parents — the parent encodings must be
+// assembled by splicing memoized child blocks (NodesCopied accounts for
+// them) and still be bitwise-identical to the unmemoized path.
+func TestScorerSplicedAssembly(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 20, executor.M1())
+	m := scorerModel(t, plans)
+	sc := NewScorer(m)
+	// Deepest-first: children before parents, as in bottom-up DP.
+	var bottomUp []*plan.Node
+	for _, p := range plans {
+		nodes := p.DFS()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			bottomUp = append(bottomUp, nodes[i])
+		}
+	}
+	got := sc.ScoreCandidates(bottomUp)
+	var buf []float64
+	for i, c := range bottomUp {
+		buf = m.AppendPredictSubPlans(buf[:0], &plan.Plan{Root: c})
+		if math.Float64bits(got[i]) != math.Float64bits(buf[0]) {
+			t.Fatalf("candidate %d: spliced-assembly score %v != unmemoized %v", i, got[i], buf[0])
+		}
+	}
+	st := sc.Stats()
+	if st.NodesCopied == 0 {
+		t.Fatal("bottom-up candidate order must splice memoized child blocks")
+	}
+	if st.NodesEncoded >= st.NodesCopied {
+		t.Fatalf("splicing should dominate fresh encoding bottom-up: %+v", st)
+	}
+}
+
+// TestScorerEqualFingerprintEqualPrediction is the memo's keying contract
+// (mirror of the root-fingerprint suite): any two subtrees with equal
+// subtree fingerprints — across plans, positions, and depths — get
+// bitwise-equal sub-plan predictions from the full unmemoized pass.
+func TestScorerEqualFingerprintEqualPrediction(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 40, executor.M1())
+	// Guarantee cross-plan duplicates at different depths: graft one plan's
+	// root under two different parents.
+	shared := plans[0].Root
+	plans = append(plans,
+		&plan.Plan{Root: &plan.Node{Type: plan.Sort, EstRows: 10, EstCost: 99,
+			Children: []*plan.Node{shared}}},
+		&plan.Plan{Root: &plan.Node{Type: plan.NestedLoop, EstRows: 5, EstCost: 123,
+			Children: []*plan.Node{{Type: plan.IndexScan, EstRows: 7, EstCost: 3}, shared}}},
+	)
+	m := scorerModel(t, plans[:40])
+	seen := make(map[plan.Fingerprint]uint64)
+	dups := 0
+	var preds []float64
+	var fps []plan.Fingerprint
+	for _, p := range plans {
+		preds = m.AppendPredictSubPlans(preds[:0], p)
+		fps = p.AppendSubtreeFingerprints(fps[:0])
+		for i, fp := range fps {
+			bits := math.Float64bits(preds[i])
+			if prev, ok := seen[fp]; ok {
+				dups++
+				if prev != bits {
+					t.Fatalf("equal subtree fingerprints %s with different predictions: %x vs %x", fp, prev, bits)
+				}
+				continue
+			}
+			seen[fp] = bits
+		}
+	}
+	if dups == 0 {
+		t.Fatal("workload produced no duplicate subtree fingerprints; test is vacuous")
+	}
+}
+
+// TestScorerResetAndNil covers the lifecycle edges: nil candidates score
+// NaN without touching the memo, and Reset empties the memo so the next
+// scores are misses again (with unchanged values).
+func TestScorerResetAndNil(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 10, executor.M1())
+	m := scorerModel(t, plans)
+	sc := NewScorer(m)
+	if v := sc.Score(nil); !math.IsNaN(v) {
+		t.Fatalf("nil candidate scored %v, want NaN", v)
+	}
+	first := sc.ScoreCandidates(dpCandidates(plans))
+	before := sc.Stats()
+	if before.Entries == 0 {
+		t.Fatal("no memo entries after scoring")
+	}
+	sc.Reset()
+	if st := sc.Stats(); st.Entries != 0 {
+		t.Fatalf("Reset left %d memo entries", st.Entries)
+	}
+	second := sc.ScoreCandidates(dpCandidates(plans))
+	after := sc.Stats()
+	if after.Misses <= before.Misses {
+		t.Fatal("post-Reset scoring should miss again")
+	}
+	for i := range first {
+		if math.Float64bits(first[i]) != math.Float64bits(second[i]) {
+			t.Fatalf("candidate %d: score changed across Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestScorerConcurrent exercises the mutex path under the race detector:
+// concurrent scorers of overlapping candidates must agree with the serial
+// unmemoized result.
+func TestScorerConcurrent(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 12, executor.M1())
+	m := scorerModel(t, plans)
+	sc := NewScorer(m)
+	cands := dpCandidates(plans)
+	want := make([]float64, len(cands))
+	var buf []float64
+	for i, c := range cands {
+		buf = m.AppendPredictSubPlans(buf[:0], &plan.Plan{Root: c})
+		want[i] = buf[0]
+	}
+	const workers = 4
+	results := make([][]float64, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = sc.ScoreCandidates(cands)
+			done <- w
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		for i := range cands {
+			if math.Float64bits(results[w][i]) != math.Float64bits(want[i]) {
+				t.Fatalf("worker %d candidate %d: %v != %v", w, i, results[w][i], want[i])
+			}
+		}
+	}
+}
+
+// TestScorerSteadyStateAllocs is the tentpole's AllocsPerRun guard, both
+// regimes: the all-hit path (warm memo) must be allocation-free, and the
+// per-query Reset cycle (miss-heavy but arena-recycled) must be too once
+// the arenas and map buckets have grown to the working set.
+func TestScorerSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	plans := workloadPlans(t, schema.IMDB(), 20, executor.M1())
+	m := scorerModel(t, plans)
+	sc := NewScorer(m)
+	cands := dpCandidates(plans)
+	buf := make([]float64, 0, len(cands))
+	buf = sc.AppendScoreCandidates(buf[:0], cands) // warm: populate memo + grow scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = sc.AppendScoreCandidates(buf[:0], cands)
+	}); avg != 0 {
+		t.Fatalf("all-hit ScoreCandidates allocates %.2f/op at steady state, want 0", avg)
+	}
+	sc.Reset()
+	buf = sc.AppendScoreCandidates(buf[:0], cands) // re-grow after first Reset
+	if avg := testing.AllocsPerRun(50, func() {
+		sc.Reset()
+		buf = sc.AppendScoreCandidates(buf[:0], cands)
+	}); avg != 0 {
+		t.Fatalf("Reset+rescore cycle allocates %.2f/op at steady state, want 0", avg)
+	}
+}
+
+// TestAppendPredictSubPlansBatch pins the pooled batch variant to
+// PredictSubPlansBatch bitwise and checks the recycling contract: reused
+// dst elements are refilled in place and extra trailing elements are
+// sliced off.
+func TestAppendPredictSubPlansBatch(t *testing.T) {
+	plans := workloadPlans(t, schema.IMDB(), 24, executor.M1())
+	m := scorerModel(t, plans)
+	want := m.PredictSubPlansBatch(plans, 4)
+	var dst [][]float64
+	for round := 0; round < 3; round++ {
+		dst = m.AppendPredictSubPlansBatch(dst, plans, 4)
+		if len(dst) != len(plans) {
+			t.Fatalf("round %d: got %d result slices for %d plans", round, len(dst), len(plans))
+		}
+		for i := range plans {
+			if len(dst[i]) != len(want[i]) {
+				t.Fatalf("round %d plan %d: %d predictions, want %d", round, i, len(dst[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if math.Float64bits(dst[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("round %d plan %d node %d: %v != %v", round, i, j, dst[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	short := m.AppendPredictSubPlansBatch(dst, plans[:5], 2)
+	if len(short) != 5 {
+		t.Fatalf("shrinking batch kept %d slices, want 5", len(short))
+	}
+}

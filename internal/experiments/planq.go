@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"dace/internal/core"
+	"dace/internal/executor"
+	"dace/internal/optimizer"
+	"dace/internal/schema"
+	"dace/internal/workload"
+)
+
+// PlanQuality measures what the estimator is *for*: end-to-end plan
+// selection. For each database it trains a within-database DACE model,
+// plugs the memoized candidate scorer into the Selinger DP (the classic
+// cost prunes, DACE chooses), and compares the chosen plans of a held-out
+// query set against the classic planner's — by the simulated executor's
+// actual latency, under identical per-query noise (the executor seeds noise
+// by query ID, so the two plans of a query run on the same "machine
+// conditions" and differ only by plan shape).
+//
+// dbs selects the benchmark databases (nil = all 20). Reported per
+// database: how many plans changed, the win/loss split among changed
+// plans, total actual latency of classic vs DACE-guided choices, the
+// geometric-mean speedup, and the fraction of candidate encoding rows the
+// scorer spliced from its memo instead of re-featurizing (the memoization
+// payoff over the DP's overlapping candidate traffic).
+func (l *Lab) PlanQuality(dbs []string) {
+	if dbs == nil {
+		for _, db := range l.DBs {
+			dbs = append(dbs, db.Name)
+		}
+	}
+	l.printf("Plan quality: DACE-guided DP join search vs classic cost (chosen-plan actual latency)\n")
+	l.printf("%-14s %8s %8s %8s %12s %12s %9s %9s\n",
+		"database", "queries", "changed", "won", "classic ms", "dace ms", "geo-spd", "spliced")
+
+	var allRatios []float64
+	var totChanged, totWon, totQueries int
+	for _, name := range dbs {
+		db := l.DB(name)
+		m := l.TrainDACE(l.Workload(name, "M1"), nil)
+		sc := core.NewScorer(m)
+
+		classic := optimizer.New(db)
+		guided := optimizer.New(db)
+		guided.CostModel = sc
+
+		// A fresh query set, disjoint from the training workload by seed.
+		qs := workload.Complex(db, l.Cfg.QueriesPerDB, int64(schema.Hash64("planq", name)))
+		ex := executor.New(db, executor.M1())
+
+		var classicMS, daceMS float64
+		var ratios []float64
+		changed, won := 0, 0
+		for _, q := range qs {
+			pc, err := classic.Plan(q)
+			if err != nil {
+				panic(err)
+			}
+			pd, err := guided.Plan(q)
+			if err != nil {
+				panic(err)
+			}
+			lc, err := ex.Run(pc, q.ID)
+			if err != nil {
+				panic(err)
+			}
+			ld, err := ex.Run(pd, q.ID)
+			if err != nil {
+				panic(err)
+			}
+			classicMS += lc
+			daceMS += ld
+			ratios = append(ratios, lc/ld)
+			if pc.Fingerprint() != pd.Fingerprint() {
+				changed++
+				if ld < lc {
+					won++
+				}
+			}
+		}
+		allRatios = append(allRatios, ratios...)
+		totChanged += changed
+		totWon += won
+		totQueries += len(qs)
+		st := sc.Stats()
+		spliced := float64(st.NodesCopied) / float64(st.NodesCopied+st.NodesEncoded)
+		l.printf("%-14s %8d %8d %8d %12.1f %12.1f %8.3fx %8.1f%%\n",
+			name, len(qs), changed, won, classicMS, daceMS,
+			geoMean(ratios), 100*spliced)
+	}
+	l.printf("%-14s %8d %8d %8d   geo-mean speedup %.3fx\n",
+		"overall", totQueries, totChanged, totWon, geoMean(allRatios))
+}

@@ -135,20 +135,32 @@ type Encoded struct {
 	Types []int
 }
 
+// EncodeNodeRow writes one node's model-visible feature row — one-hot
+// operator type, scaled log estimated cost, scaled log cardinality — into
+// row, which must hold FeatureDim pre-zeroed entries, and returns the
+// scaled cost feature (the CostCol entry). It is the single source of the
+// per-node encoding arithmetic: fill uses it for whole plans and the
+// core scorer uses it to featurize individual memo-miss nodes, so the two
+// paths are bitwise-identical by construction.
+func (e *Encoder) EncodeNodeRow(row []float64, n *plan.Node) float64 {
+	row[int(n.Type)] = 1
+	cost := e.Cost.Transform(logSafe(n.EstCost))
+	row[plan.NumNodeTypes] = cost
+	card := n.EstRows
+	if e.ActualCard {
+		card = n.ActualRows
+	}
+	row[plan.NumNodeTypes+1] = e.Card.Transform(logSafe(card))
+	return cost
+}
+
 // fill populates enc's pre-allocated, pre-zeroed X/Y/LossW/CostCol matrices
 // from the DFS node sequence; enc.Heights must already be set.
 func (e *Encoder) fill(enc *Encoded, nodes []*plan.Node) {
 	for i, node := range nodes {
-		enc.X.Set(i, int(node.Type), 1)
 		enc.Types[i] = int(node.Type)
-		cost := e.Cost.Transform(logSafe(node.EstCost))
-		enc.X.Set(i, plan.NumNodeTypes, cost)
+		cost := e.EncodeNodeRow(enc.X.Data[i*enc.X.Cols:(i+1)*enc.X.Cols], node)
 		enc.CostCol.Data[i] = cost
-		card := node.EstRows
-		if e.ActualCard {
-			card = node.ActualRows
-		}
-		enc.X.Set(i, plan.NumNodeTypes+1, e.Card.Transform(logSafe(card)))
 		w := math.Pow(e.Alpha, float64(enc.Heights[i]))
 		if node.ActualMS > 0 {
 			enc.Y.Set(i, 0, e.Label.Transform(logSafe(node.ActualMS)))

@@ -9,6 +9,18 @@ import (
 	"dace/internal/workload"
 )
 
+// CostModel scores physical join candidates for the DP search: one
+// predicted execution latency (ms, lower is better) per candidate root.
+// Scores for the same batch must be comparable; the scorer may be called
+// many times per query with heavily overlapping candidate subtrees, which
+// is exactly the access pattern core.Scorer's subtree-fingerprint memo is
+// built for (it satisfies this interface directly).
+type CostModel interface {
+	// AppendScoreCandidates appends one score per candidate to buf and
+	// returns the extended slice. Candidates are never nil.
+	AppendScoreCandidates(buf []float64, cands []*plan.Node) []float64
+}
+
 // Planner turns workload queries into physical plans with estimated
 // cardinalities and cumulative estimated costs, Selinger-style: best access
 // path per table, dynamic programming over join orders, cheapest physical
@@ -22,11 +34,30 @@ type Planner struct {
 	// a Gather node (parallel execution), as PostgreSQL does for expensive
 	// plans. Set very high to disable.
 	GatherThreshold float64
+
+	// CostModel, when non-nil, chooses among the DP's physical join
+	// candidates by learned score instead of classic cost (optimizer in the
+	// loop). Classic cost still shapes the plan everywhere else: nodes keep
+	// their classic EstCost (it is a model input feature, never overwritten),
+	// access paths and aggregate placement stay cost-based, and the classic
+	// cost prunes which candidates are scored at all (PruneFactor). Nil —
+	// the default — is the pure classic planner.
+	CostModel CostModel
+
+	// PruneFactor bounds the learned search: only candidates whose classic
+	// cost is within PruneFactor× of the cheapest candidate for that DP cell
+	// are scored by the CostModel (the classic estimate is trusted as a
+	// coarse pre-filter, as in learned-optimizer practice). <= 0 disables
+	// pruning and scores every candidate. Ignored when CostModel is nil.
+	PruneFactor float64
 }
 
 // New builds a planner with default PostgreSQL cost constants.
 func New(db *schema.Database) *Planner {
-	return &Planner{DB: db, Stats: NewStats(db), Params: DefaultCostParams(), GatherThreshold: 50_000}
+	return &Planner{
+		DB: db, Stats: NewStats(db), Params: DefaultCostParams(),
+		GatherThreshold: 50_000, PruneFactor: 10,
+	}
 }
 
 // candidate is a DP entry: a partial plan with its cumulative cost and
@@ -44,10 +75,12 @@ func (pl *Planner) Plan(q *workload.Query) (*plan.Plan, error) {
 	if err := q.Validate(pl.DB); err != nil {
 		return nil, err
 	}
-	// Best access path per table.
-	base := make(map[string]candidate, len(q.Tables))
-	for _, tn := range q.Tables {
-		base[tn] = pl.scan(tn, q.Filters[tn])
+	// Best access path per table, aligned with q.Tables — index order is
+	// the DP's table numbering, so planning never iterates a map (map
+	// iteration order would make equal-cost tie-breaks nondeterministic).
+	base := make([]candidate, len(q.Tables))
+	for i, tn := range q.Tables {
+		base[i] = pl.scan(tn, q.Filters[tn])
 	}
 
 	best := pl.joinDP(q, base)
@@ -135,30 +168,45 @@ func (pl *Planner) scan(tableName string, preds []plan.Predicate) candidate {
 	return candidate{node: node, rows: outRows, cost: node.EstCost}
 }
 
+// dpScratch holds joinDP's per-query choose buffers, reused across DP
+// cells so candidate gathering and scoring allocate once per Plan call.
+type dpScratch struct {
+	cands  []candidate
+	keep   []int
+	nodes  []*plan.Node
+	scores []float64
+}
+
 // joinDP runs subset dynamic programming over left-deep and right-deep join
-// orders, choosing the cheapest physical operator per edge.
-func (pl *Planner) joinDP(q *workload.Query, base map[string]candidate) candidate {
+// orders, choosing the best physical operator per cell. All candidates for
+// a cell are gathered first (in the fixed enumeration order of q.Joins ×
+// split × operator), then one is chosen — by classic cost, or by
+// pl.CostModel score when the learned cost model is plugged in. Ties break
+// toward the earlier candidate in enumeration order, so planning is
+// deterministic run-to-run in either mode. base[i] is the access path for
+// q.Tables[i].
+func (pl *Planner) joinDP(q *workload.Query, base []candidate) candidate {
 	n := len(q.Tables)
 	idx := make(map[string]int, n)
 	for i, t := range q.Tables {
 		idx[t] = i
 	}
 	dp := make(map[uint32]candidate, 1<<n)
-	for t, c := range base {
-		dp[1<<idx[t]] = c
+	for i, c := range base {
+		dp[1<<i] = c
 	}
 	if n == 1 {
 		return dp[1]
 	}
 
+	var scratch dpScratch
 	// Grow subsets one table at a time along FK edges.
 	for size := 2; size <= n; size++ {
 		for mask := uint32(1); mask < 1<<n; mask++ {
 			if popcount(mask) != size {
 				continue
 			}
-			var best candidate
-			found := false
+			scratch.cands = scratch.cands[:0]
 			for _, fk := range q.Joins {
 				ci, pi := idx[fk.ChildTable], idx[fk.ParentTable]
 				if mask&(1<<ci) == 0 || mask&(1<<pi) == 0 {
@@ -180,16 +228,11 @@ func (pl *Planner) joinDP(q *workload.Query, base map[string]candidate) candidat
 					if rest&(1<<other) == 0 {
 						continue
 					}
-					c := pl.bestJoin(q, fk, left, right)
-					if !found || c.cost < best.cost {
-						best, found = c, true
-					}
+					scratch.cands = pl.appendJoinCandidates(scratch.cands, fk, left, right)
 				}
 			}
-			if found {
-				if cur, ok := dp[mask]; !ok || best.cost < cur.cost {
-					dp[mask] = best
-				}
+			if len(scratch.cands) > 0 {
+				dp[mask] = pl.choose(&scratch)
 			}
 		}
 	}
@@ -201,9 +244,52 @@ func (pl *Planner) joinDP(q *workload.Query, base map[string]candidate) candidat
 	return c
 }
 
-// bestJoin picks the cheapest physical join of left and right via fk,
-// considering both operand orders for hash/NL.
-func (pl *Planner) bestJoin(q *workload.Query, fk schema.ForeignKey, left, right candidate) candidate {
+// choose picks one DP-cell winner from scratch.cands. Classic mode takes
+// the strictly cheapest candidate (first in enumeration order on ties).
+// With a CostModel, candidates within PruneFactor× of the cheapest classic
+// cost are scored and the lowest score wins — score ties break to lower
+// classic cost, then to enumeration order. The winner keeps its classic
+// cost/EstCost either way: learned scores select plans, they never
+// overwrite cost features.
+func (pl *Planner) choose(s *dpScratch) candidate {
+	bi := 0
+	for i := 1; i < len(s.cands); i++ {
+		if s.cands[i].cost < s.cands[bi].cost {
+			bi = i
+		}
+	}
+	if pl.CostModel == nil {
+		return s.cands[bi]
+	}
+	s.keep = s.keep[:0]
+	limit := math.Inf(1)
+	if pl.PruneFactor > 0 {
+		limit = s.cands[bi].cost * pl.PruneFactor
+	}
+	for i := range s.cands {
+		if s.cands[i].cost <= limit {
+			s.keep = append(s.keep, i)
+		}
+	}
+	s.nodes = s.nodes[:0]
+	for _, i := range s.keep {
+		s.nodes = append(s.nodes, s.cands[i].node)
+	}
+	s.scores = pl.CostModel.AppendScoreCandidates(s.scores[:0], s.nodes)
+	best, bestScore := s.keep[0], s.scores[0]
+	for j := 1; j < len(s.keep); j++ {
+		i, sc := s.keep[j], s.scores[j]
+		if sc < bestScore || (sc == bestScore && s.cands[i].cost < s.cands[best].cost) {
+			best, bestScore = i, sc
+		}
+	}
+	return s.cands[best]
+}
+
+// appendJoinCandidates appends every physical join of left and right via fk
+// — hash and nested-loop in both operand orders, merge — to dst, in fixed
+// enumeration order.
+func (pl *Planner) appendJoinCandidates(dst []candidate, fk schema.ForeignKey, left, right candidate) []candidate {
 	sel := pl.Stats.JoinSelectivity(fk)
 	outRows := math.Max(1, left.rows*right.rows*sel)
 	meta := &plan.Meta{
@@ -211,11 +297,8 @@ func (pl *Planner) bestJoin(q *workload.Query, fk schema.ForeignKey, left, right
 		JoinRight: fk.ParentTable + "." + fk.ParentColumn,
 	}
 
-	var best candidate
 	consider := func(c candidate) {
-		if best.node == nil || c.cost < best.cost {
-			best = c
-		}
+		dst = append(dst, c)
 	}
 
 	for _, ord := range [2][2]candidate{{left, right}, {right, left}} {
@@ -261,7 +344,7 @@ func (pl *Planner) bestJoin(q *workload.Query, fk schema.ForeignKey, left, right
 		rows: outRows, cost: mjCost,
 	})
 
-	return best
+	return dst
 }
 
 // groupAgg builds Sort + GroupAggregate (or hashed Aggregate when cheaper)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // Fingerprint is a 128-bit canonical hash of a plan tree — the cache key of
@@ -102,4 +103,80 @@ func fingerprintNode(st *fpState, n *Node) {
 	for _, c := range n.Children {
 		fingerprintNode(st, c)
 	}
+}
+
+// fpScratch is the pooled per-walk state of AppendSubtreeFingerprints: one
+// open hash accumulator per node on the current DFS path.
+type fpScratch struct {
+	states []fpState
+}
+
+var fpScratchPool = sync.Pool{New: func() any { return new(fpScratch) }}
+
+// AppendSubtreeFingerprints appends, for every node of the tree rooted at n
+// in DFS pre-order, the Fingerprint of the sub-plan rooted there, and
+// returns the extended slice. Element 0 — the root's subtree fingerprint —
+// is identical to (&Plan{Root: n}).Fingerprint(), and every element i equals
+// the standalone Fingerprint of the subtree at DFS position i: the subtree
+// hash is the same seeded word chain, restricted to the subtree's DFS
+// stream.
+//
+// All fingerprints are computed in a single DFS: the walk keeps one open
+// accumulator per ancestor on the current path and feeds each visited
+// node's words to all of them — each ancestor thereby consumes exactly its
+// own subtree's DFS word stream, in stream order. That is O(n·depth) hash
+// words instead of the O(n) of a root-only hash, the price of producing all
+// n sub-plan cache keys at once. With spare capacity in buf the call is
+// allocation-free at steady state (the walk scratch is pooled).
+func (n *Node) AppendSubtreeFingerprints(buf []Fingerprint) []Fingerprint {
+	if n == nil {
+		return buf
+	}
+	s := fpScratchPool.Get().(*fpScratch)
+	buf = s.walk(n, buf)
+	s.states = s.states[:0]
+	fpScratchPool.Put(s)
+	return buf
+}
+
+// AppendSubtreeFingerprints appends the plan's per-node subtree
+// fingerprints (DFS pre-order) to buf; the root entry equals
+// p.Fingerprint(). A nil plan or root appends nothing.
+func (p *Plan) AppendSubtreeFingerprints(buf []Fingerprint) []Fingerprint {
+	if p == nil {
+		return buf
+	}
+	return p.Root.AppendSubtreeFingerprints(buf)
+}
+
+// SubtreeFingerprints returns the per-node subtree fingerprints of the plan
+// in DFS pre-order.
+func (p *Plan) SubtreeFingerprints() []Fingerprint {
+	return p.AppendSubtreeFingerprints(nil)
+}
+
+func (s *fpScratch) walk(n *Node, buf []Fingerprint) []Fingerprint {
+	pos := len(buf)
+	buf = append(buf, Fingerprint{}) // reserve this node's DFS slot
+	s.states = append(s.states, fpState{hi: fpSeedHi, lo: fpSeedLo})
+	depth := len(s.states)
+	words := [4]uint64{
+		uint64(uint32(n.Type))<<32 | uint64(uint32(len(n.Children))),
+		canonBits(n.EstRows),
+		canonBits(n.EstCost),
+		canonBits(n.ActualRows),
+	}
+	for i := range s.states {
+		st := &s.states[i]
+		st.word(words[0])
+		st.word(words[1])
+		st.word(words[2])
+		st.word(words[3])
+	}
+	for _, c := range n.Children {
+		buf = s.walk(c, buf)
+	}
+	buf[pos] = s.states[depth-1].sum()
+	s.states = s.states[:depth-1]
+	return buf
 }

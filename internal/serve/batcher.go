@@ -43,6 +43,13 @@ type batcher struct {
 	// telemetry is off; run/submit then skip the timestamps entirely.
 	sizeHist *telemetry.Histogram
 	waitHist *telemetry.Histogram
+
+	// Per-batch scratch, owned by the collector goroutine. The top-level
+	// slice headers are recycled across batches via the append-style batch
+	// API; the inner prediction slices are not — each batch hands them to
+	// its waiters (and the caches) and drops its references.
+	plans []*plan.Plan
+	outs  [][]float64
 }
 
 // batchReq is one queued request; done is closed once preds/err are set.
@@ -181,9 +188,9 @@ func (b *batcher) run(reqs []*batchReq) {
 			}
 		}
 	}()
-	plans := make([]*plan.Plan, len(reqs))
-	for i, r := range reqs {
-		plans[i] = r.p
+	b.plans = b.plans[:0]
+	for _, r := range reqs {
+		b.plans = append(b.plans, r.p)
 	}
 	if b.waitHist != nil {
 		now := time.Now()
@@ -191,14 +198,18 @@ func (b *batcher) run(reqs []*batchReq) {
 			b.waitHist.Observe(now.Sub(r.enq).Seconds())
 		}
 	}
-	outs := b.srv.Model().PredictSubPlansBatch(plans, b.srv.Workers)
+	// Append-style batch: the outs header is recycled run-to-run; the inner
+	// slices were nil'd below after the previous batch (their predictions
+	// escaped with the waiters), so each is grown fresh here.
+	b.outs = b.srv.Model().AppendPredictSubPlansBatch(b.outs, b.plans, b.srv.Workers)
 	b.batches.Add(1)
 	b.requests.Add(uint64(len(reqs)))
 	if b.sizeHist != nil {
 		b.sizeHist.Observe(float64(len(reqs)))
 	}
 	for i, r := range reqs {
-		r.preds = outs[i]
+		r.preds = b.outs[i]
+		b.outs[i] = nil // ownership moves to the waiter; never refill in place
 		close(r.done)
 	}
 }
