@@ -2,9 +2,10 @@ GO ?= go
 
 # Packages that gained concurrency (worker-pool training / batch inference,
 # pooled tapes and scratch encoders, pooled wire decoders, the shared
-# scorer memo behind the optimizer's cost-model hook) and must stay clean
-# under the race detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry ./internal/optimizer
+# scorer memo behind the optimizer's cost-model hook, the lock-free
+# multi-tenant adapter registry) and must stay clean under the race
+# detector.
+RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry ./internal/optimizer ./internal/tenant
 
 .PHONY: all fmt vet build test race bench ci
 
@@ -32,8 +33,8 @@ race:
 bench:
 	$(GO) run ./cmd/bench -quick
 
-# The CI smoke gate: quick benchmark (serve + adapt + gateway + score
-# scenarios included) that fails on a >35% throughput regression against
+# The CI smoke gate: quick benchmark (serve + tenant + adapt + gateway +
+# score scenarios included) that fails on a >35% throughput regression against
 # the committed baseline JSON, or on memoized candidate scoring dropping
 # below its absolute 5× bar. The baseline records per-scenario floors (min
 # over several runs) — single-core runners jitter ~±30%, and the gate is

@@ -127,7 +127,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: built-in PR 1 numbers)")
 	check := flag.Bool("check", false, "exit non-zero if any scenario's plans/sec regresses more than -max-regress vs the baseline")
 	maxRegress := flag.Float64("max-regress", 25, "regression threshold for -check, percent")
-	only := flag.String("only", "", "comma-separated scenario groups to run (train,infer,decode,telemetry,serve,adapt,gateway,score); empty = all")
+	only := flag.String("only", "", "comma-separated scenario groups to run (train,infer,decode,telemetry,serve,tenant,adapt,gateway,score); empty = all")
 	flag.Parse()
 
 	onlySet := map[string]bool{}
@@ -278,6 +278,13 @@ func main() {
 	speedup := 0.0
 	if group("serve") {
 		speedup = benchServe(&rep, m, test, *quick)
+	}
+
+	// Multi-tenant serving: one shared encoder + 64 adapter sets behind one
+	// server, zipf-skewed tenant mix at c=64, pre-verified bitwise against
+	// dedicated single-tenant servers.
+	if group("tenant") {
+		benchTenant(&rep, m, test, *quick)
 	}
 
 	// Online-adaptation scenarios: fine-tune throughput, promotion swap

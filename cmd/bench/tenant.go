@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dace/internal/core"
+	"dace/internal/plan"
+	"dace/internal/serve"
+	"dace/internal/tenant"
+)
+
+// Multi-tenant serving scenario: one server holding the shared frozen
+// encoder plus 64 per-tenant adapter sets, driven by 64 concurrent clients
+// whose tenant mix is zipf-skewed (a few hot databases, a long tail) — the
+// fleet shape the tenant registry exists for. Before the clock starts, a
+// sample of tenants is verified bitwise against dedicated single-tenant
+// servers built from the same adapter sets: multi-tenancy must change
+// where adapters live, never what they predict.
+
+const benchTenants = 64
+
+// benchTenantAdapters builds a deterministic non-zero adapter set per
+// seed, so every tenant has a distinct view and verification against a
+// dedicated server is non-vacuous.
+func benchTenantAdapters(cfg core.Config, seed int64) *core.AdapterSet {
+	as := core.NewAdapterSet(cfg, seed)
+	for li, l := range as.Layers {
+		for i := range l.Up.Value.Data {
+			l.Up.Value.Data[i] = 0.01 * float64((int64(li+1)*7+int64(i)+seed)%13-6)
+		}
+	}
+	return as
+}
+
+// benchTenant measures /predict throughput through the multi-tenant
+// pipeline at c=64 over a zipf-skewed 64-tenant mix, on both wire
+// encodings. Appends one Result per case.
+func benchTenant(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) {
+	n := 4000
+	if quick {
+		n = 1200
+	}
+
+	reg := tenant.New(m, tenant.Config{})
+	defer reg.Stop()
+	ids := make([]string, benchTenants)
+	sets := make([]*core.AdapterSet, benchTenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("db%02d", i)
+		sets[i] = benchTenantAdapters(m.Cfg, int64(i+1))
+		if err := reg.ServeAdapters(ids[i], sets[i]); err != nil {
+			log.Fatalf("bench: tenant %s: %v", ids[i], err)
+		}
+	}
+
+	w := newWorkload(plans, 8)
+
+	for _, sc := range []struct {
+		name   string
+		hit    float64
+		binary bool
+	}{
+		{"tenant/multi/t=64/zipf/c=64/hit=90", 0.90, false},
+		{"tenant/multi-bin/t=64/zipf/c=64/hit=99", 0.99, true},
+	} {
+		s := serve.NewWithConfig(m, cachedConfig())
+		s.Tenants = reg
+		verifyTenantPipeline(s, m, sets, ids, w)
+		srv := httptest.NewServer(s.Handler())
+
+		const conc = 64
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        conc * 2,
+			MaxIdleConnsPerHost: conc * 2,
+			DisableCompression:  true,
+		}}
+		contentType := "application/json"
+		if sc.binary {
+			contentType = plan.BinaryContentType
+		}
+		target, err := url.Parse(srv.URL + "/predict")
+		if err != nil {
+			log.Fatalf("bench: %s: %v", sc.name, err)
+		}
+		// One reusable header per tenant: the harness selects a prebuilt
+		// header rather than allocating one per request.
+		hdrs := make([]http.Header, benchTenants)
+		for i, id := range ids {
+			hdrs[i] = http.Header{
+				"Content-Type":  []string{contentType},
+				"X-Dace-Tenant": []string{id},
+				"User-Agent":    nil,
+			}
+		}
+
+		run := func(bodies [][]byte, tenants []int, record []float64) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < conc; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(bodies) {
+							return
+						}
+						body := bodies[i]
+						t0 := time.Now()
+						req := &http.Request{
+							Method: http.MethodPost,
+							URL:    target,
+							Header: hdrs[tenants[i]],
+							Body:   io.NopCloser(bytes.NewReader(body)),
+							GetBody: func() (io.ReadCloser, error) {
+								return io.NopCloser(bytes.NewReader(body)), nil
+							},
+							ContentLength: int64(len(body)),
+						}
+						resp, err := client.Do(req)
+						if err != nil {
+							log.Fatalf("bench: %s: %v", sc.name, err)
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							log.Fatalf("bench: %s: status %d", sc.name, resp.StatusCode)
+						}
+						if record != nil {
+							record[i] = float64(time.Since(t0))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+
+		warmBodies := w.bodies(n/4, sc.hit, 7)
+		measBodies := w.bodies(n, sc.hit, 11)
+		if sc.binary {
+			warmBodies, measBodies = w.binary(warmBodies), w.binary(measBodies)
+		}
+		run(warmBodies, zipfTenants(len(warmBodies), 19), nil)
+		measTenants := zipfTenants(n, 23)
+		lat := make([]float64, n)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		run(measBodies, measTenants, lat)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		sort.Float64s(lat)
+		q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+		rep.Results = append(rep.Results, Result{
+			Name:        sc.name,
+			Runs:        1,
+			OpsPerRun:   n,
+			PlansPerSec: float64(n) / elapsed.Seconds(),
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			P50Ns:       q(0.50),
+			P95Ns:       q(0.95),
+			P99Ns:       q(0.99),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+			NumGC:       after.NumGC - before.NumGC,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+		})
+		fmt.Fprintf(os.Stderr, "bench: %s done (%.0f req/s)\n",
+			sc.name, rep.Results[len(rep.Results)-1].PlansPerSec)
+
+		srv.Close()
+		s.Close()
+		client.CloseIdleConnections()
+	}
+}
+
+// zipfTenants draws n tenant indices from a zipf distribution over the 64
+// tenants: index 0 is the hottest database, the tail is cold. The skew
+// exercises both the salted plan cache (hot tenants repeat) and the
+// per-request State load (cold tenants churn).
+func zipfTenants(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, benchTenants-1)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// verifyTenantPipeline asserts the multi-tenant serving contract before
+// any timing: for a sample of tenants, the multi-tenant server's response
+// to a tenant-scoped request must be byte-identical to a dedicated
+// single-tenant server built from the same adapter set — on the cold pass
+// and the (salted-cache) hot pass alike.
+func verifyTenantPipeline(s *serve.Server, m *core.Model, sets []*core.AdapterSet, ids []string, w *workload) {
+	probe := append(append([][]byte{}, w.hot[:4]...), w.bodies(2, 0, 3)...)
+	for _, ti := range []int{0, 1, benchTenants - 1} {
+		dedicated := serve.New(m.WithAdapters(sets[ti]))
+		for i, body := range probe {
+			want := postTenantOnce(dedicated, body, "application/json", "")
+			for pass := 0; pass < 2; pass++ { // second pass hits the salted cache
+				got := postTenantOnce(s, body, "application/json", ids[ti])
+				if !bytes.Equal(got, want) {
+					log.Fatalf("bench: tenant %s response diverged from dedicated server (probe %d, pass %d)", ids[ti], i, pass)
+				}
+			}
+		}
+	}
+}
+
+func postTenantOnce(s *serve.Server, body []byte, contentType, tenantID string) []byte {
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	if tenantID != "" {
+		req.Header.Set("X-DACE-Tenant", tenantID)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		log.Fatalf("bench: tenant verify request failed with status %d", rec.Code)
+	}
+	return rec.Body.Bytes()
+}

@@ -9,22 +9,32 @@
 //	dace predict  -model dace.json -plan plan.json
 //	dace encode   -in plan.json -out plan.bin        (JSON → binary wire)
 //	dace encode   -decode -in plan.bin               (binary wire → JSON)
+//	dace tenants  -addr http://localhost:8080        (live multi-tenant state)
+//	dace tenants  -dir tenants                       (offline artifact dirs)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
+	"text/tabwriter"
+	"time"
 
+	"dace/internal/adapt"
 	"dace/internal/core"
 	"dace/internal/dataset"
 	"dace/internal/executor"
 	"dace/internal/metrics"
 	"dace/internal/plan"
 	"dace/internal/schema"
+	"dace/internal/tenant"
 	"dace/internal/workload"
 )
 
@@ -45,14 +55,106 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "encode":
 		cmdEncode(os.Args[2:])
+	case "tenants":
+		cmdTenants(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain|encode} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain|encode|tenants} [flags]")
 	os.Exit(2)
+}
+
+// cmdTenants reports multi-tenant serving state: from a running daced's
+// GET /tenants (live counters included) or straight from a tenants
+// artifact directory when no daemon is up.
+func cmdTenants(args []string) {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	addr := fs.String("addr", "", "running daced base URL (e.g. http://localhost:8080)")
+	dir := fs.String("dir", "", "tenants artifact directory (offline mode)")
+	fs.Parse(args)
+
+	switch {
+	case *addr != "":
+		tenantsFromDaemon(*addr)
+	case *dir != "":
+		tenantsFromDir(*dir)
+	default:
+		fatal(errors.New("tenants: -addr or -dir required"))
+	}
+}
+
+// tenantsFromDaemon renders GET /tenants from a live server.
+func tenantsFromDaemon(addr string) {
+	url := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := http.Get(url + "/tenants")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("tenants: %s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body))))
+	}
+	var infos []tenant.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		fatal(err)
+	}
+	if len(infos) == 0 {
+		fmt.Println("no tenants registered")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "TENANT\tVERSION\tGEN\tADAPTED\tBACKLOG\tREQUESTS\tFEEDBACK\tRUNS\tPROMOTIONS")
+	for _, ti := range infos {
+		fmt.Fprintf(w, "%s\tv%d\t%d\t%v\t%d\t%d\t%d\t%d\t%d\n",
+			ti.ID, ti.Version, ti.Gen, ti.Adapted, ti.Backlog, ti.Requests, ti.Feedback, ti.Runs, ti.Promotions)
+	}
+	w.Flush()
+}
+
+// tenantsFromDir renders each tenant subdirectory's artifact manifest.
+func tenantsFromDir(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// The registry creates per-tenant dirs lazily on first promotion;
+			// a missing root just means nothing has been promoted yet.
+			fmt.Printf("no tenant artifacts under %s\n", dir)
+			return
+		}
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "TENANT\tCURRENT\tVERSIONS\tLAST PROMOTED")
+	rows := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		man, err := adapt.ReadManifest(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue // not a tenant artifact dir (or no promotion yet)
+		}
+		last := ""
+		for _, v := range man.Versions {
+			if v.Version == man.Current {
+				last = v.Created.Format(time.RFC3339)
+			}
+		}
+		fmt.Fprintf(w, "%s\tv%d\t%d\t%s\n", e.Name(), man.Current, len(man.Versions), last)
+		rows++
+	}
+	if rows == 0 {
+		fmt.Printf("no tenant artifacts under %s\n", dir)
+		return
+	}
+	w.Flush()
 }
 
 // cmdEncode converts plans between the JSON document format and the compact

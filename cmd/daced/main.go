@@ -27,6 +27,18 @@
 // incumbent on a held-out split; promotions are persisted as versioned
 // artifacts under -model-dir, which a restart resumes from.
 //
+// Multi-tenant serving (-tenants-dir): one frozen encoder, N databases.
+// Each tenant is a LoRA adapter set over the shared base model, selected
+// per request by the X-DACE-Tenant header or the database query param;
+// feedback flows into per-tenant replay stores and gated fine-tunes that
+// persist versioned adapter artifacts under <tenants-dir>/<tenant>/:
+//
+//	daced -model dace.json -tenants-dir tenants
+//	curl -XPOST localhost:8080/tenants/airline                # register
+//	curl -XPOST -H 'X-DACE-Tenant: airline' \
+//	     localhost:8080/predict --data-binary @plan.json      # tenant view
+//	curl localhost:8080/tenants                               # fleet state
+//
 // Cluster mode (-gateway): instead of serving a model, daced fronts a
 // fleet of daced replicas and routes /predict and /predict/batch traffic
 // by consistent-hashing each plan's fingerprint, so every replica's caches
@@ -58,6 +70,7 @@ import (
 	"dace/internal/gateway"
 	"dace/internal/serve"
 	"dace/internal/telemetry"
+	"dace/internal/tenant"
 	"dace/internal/version"
 )
 
@@ -80,6 +93,8 @@ func main() {
 	adaptMinSamples := flag.Int("adapt-min-samples", 256, "replay-buffer floor before a fine-tune may run")
 	adaptGate := flag.Float64("adapt-gate", 0.02, "fractional holdout q-error improvement (median AND p90) required to promote")
 	modelDir := flag.String("model-dir", "", "directory for versioned promoted-model artifacts (empty keeps promotions in memory only)")
+	tenantsDir := flag.String("tenants-dir", "", "serve per-tenant LoRA adapters over one shared frozen encoder, persisting each tenant's artifacts under this directory")
+	tenantWorkers := flag.Int("tenant-workers", 1, "fine-tune worker goroutines shared across all tenants")
 	drainGrace := flag.Duration("drain-grace", 0, "delay between flipping /healthz/ready unready and closing the listener, so upstream gateways eject this replica first")
 	gatewayReplicas := flag.String("gateway", "", "run as a cluster gateway over this comma-separated replica list (host:port,...) instead of serving a model")
 	gwVnodes := flag.Int("gw-vnodes", 0, "gateway: virtual nodes per replica on the routing ring (0 = 128)")
@@ -192,6 +207,27 @@ func main() {
 		}
 	}
 
+	// Multi-tenant serving: freeze the base model and load every tenant's
+	// current adapter artifact. The registry owns per-tenant feedback,
+	// fine-tuning, and hot-swaps from here on.
+	var tenants *tenant.Registry
+	if *tenantsDir != "" {
+		tenants = tenant.New(m, tenant.Config{
+			Dir:        *tenantsDir,
+			MinSamples: *adaptMinSamples,
+			Gate:       *adaptGate,
+			Workers:    *tenantWorkers,
+			Metrics:    reg,
+			Logger:     logger.With("component", "tenant"),
+		})
+		adapted, err := tenants.LoadDir()
+		if err != nil {
+			fatal("tenants dir", "err", err)
+		}
+		s.Tenants = tenants
+		logger.Info("tenants loaded", "dir", *tenantsDir, "tenants", tenants.Len(), "adapted", adapted)
+	}
+
 	// Online adaptation: any adaptation-related flag switches the loop on.
 	var ctl *adapt.Controller
 	adaptOn := *feedbackLog != "" || *modelDir != "" || *adaptInterval > 0
@@ -265,6 +301,11 @@ func main() {
 			// Wait out any in-flight fine-tune and flush the feedback log
 			// before the deferred Close tears the file down.
 			ctl.Stop()
+		}
+		if tenants != nil {
+			// Same for the tenant fine-tune pool: in-flight runs finish (and
+			// persist their artifacts) before the process exits.
+			tenants.Stop()
 		}
 		logger.Info("drained")
 	case err := <-errCh:

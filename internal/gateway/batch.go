@@ -57,6 +57,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
 		return
 	}
+	tenant := tenantOf(r, database)
 
 	ws := gwPool.Get().(*gwScratch)
 	defer gwPool.Put(ws)
@@ -104,7 +105,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	for round := 0; round <= len(g.pool.replicas) && len(pending) > 0; round++ {
-		calls, err := g.forwardShards(ws, entries, pending)
+		calls, err := g.forwardShards(ws, entries, pending, tenant)
 		if err != nil {
 			writeRouteError(w, err)
 			return
@@ -234,7 +235,7 @@ func (g *Gateway) decodeBatch(ws *gwScratch, body []byte, format, database strin
 // every shard round trip concurrently. It fails fast (before sending
 // anything) if any entry has no owner or any owner is saturated — partial
 // batches are never forwarded, so a 503 here means no replica did work.
-func (g *Gateway) forwardShards(ws *gwScratch, entries [][]byte, pending []int) ([]shardCall, error) {
+func (g *Gateway) forwardShards(ws *gwScratch, entries [][]byte, pending []int, tenant tenantID) ([]shardCall, error) {
 	groups := make([][]int, len(g.pool.replicas))
 	for _, e := range pending {
 		rep := g.pool.route(ws.entryFP[e])
@@ -277,7 +278,7 @@ func (g *Gateway) forwardShards(ws *gwScratch, entries [][]byte, pending []int) 
 				ss.frame = append(ss.frame, entries[e]...)
 			}
 			call.rep.requests.Add(1)
-			call.status, _, call.err = call.rep.up.roundTrip(&ss.wire, http.MethodPost, "/predict/batch", plan.BinaryContentType, ss.frame)
+			call.status, _, call.err = call.rep.up.roundTrip(&ss.wire, http.MethodPost, "/predict/batch", plan.BinaryContentType, tenant, ss.frame)
 		}()
 	}
 	wg.Wait()

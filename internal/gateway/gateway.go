@@ -132,6 +132,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
 		return
 	}
+	tenant := tenantOf(r, database)
 
 	ws := gwPool.Get().(*gwScratch)
 	defer gwPool.Put(ws)
@@ -191,7 +192,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		upBody = ws.out
 	}
 
-	status, resp, err := g.forward(ws, "/predict", upBody, fp)
+	status, resp, err := g.forward(ws, "/predict", upBody, fp, tenant)
 	if err != nil {
 		writeRouteError(w, err)
 		return
@@ -206,7 +207,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 // aliases ws.wire and is valid until ws is reused. A saturated replica is
 // not retried — backpressure must reach the client, not pile onto a
 // neighbor that owns a different shard.
-func (g *Gateway) forward(ws *gwScratch, path string, body []byte, h uint64) (int, []byte, error) {
+func (g *Gateway) forward(ws *gwScratch, path string, body []byte, h uint64, tenant tenantID) (int, []byte, error) {
 	for tries := 0; tries <= len(g.pool.replicas); tries++ {
 		rep := g.pool.route(h)
 		if rep == nil {
@@ -216,7 +217,7 @@ func (g *Gateway) forward(ws *gwScratch, path string, body []byte, h uint64) (in
 			return 0, nil, errBackpressure
 		}
 		rep.requests.Add(1)
-		status, resp, err := rep.up.roundTrip(&ws.wire, http.MethodPost, path, plan.BinaryContentType, body)
+		status, resp, err := rep.up.roundTrip(&ws.wire, http.MethodPost, path, plan.BinaryContentType, tenant, body)
 		rep.release()
 		if err == nil {
 			return status, resp, nil

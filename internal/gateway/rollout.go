@@ -106,7 +106,7 @@ func (g *Gateway) mirrorLoop(rs *rolloutState, canary *Replica, ch chan []byte, 
 	defer close(done)
 	var canaryWire, baseWire wireBuf
 	for body := range ch {
-		status, resp, err := canary.up.roundTrip(&canaryWire, http.MethodPost, "/predict", plan.BinaryContentType, body)
+		status, resp, err := canary.up.roundTrip(&canaryWire, http.MethodPost, "/predict", plan.BinaryContentType, tenantID{}, body)
 		if err != nil || status != http.StatusOK {
 			rs.stats.errors.Add(1)
 			continue
@@ -120,7 +120,7 @@ func (g *Gateway) mirrorLoop(rs *rolloutState, canary *Replica, ch chan []byte, 
 		if base == nil {
 			continue // single-replica fleet: nothing to compare against
 		}
-		status, resp, err = base.up.roundTrip(&baseWire, http.MethodPost, "/predict", plan.BinaryContentType, body)
+		status, resp, err = base.up.roundTrip(&baseWire, http.MethodPost, "/predict", plan.BinaryContentType, tenantID{}, body)
 		if err != nil || status != http.StatusOK {
 			rs.stats.errors.Add(1)
 			continue
@@ -192,7 +192,7 @@ func parseRootMS(resp []byte) (float64, bool) {
 func (g *Gateway) loadModelOn(rep *Replica, version int) (prev int, err error) {
 	var ws wireBuf
 	path := "/model/load?version=" + strconv.Itoa(version)
-	status, resp, err := rep.up.roundTrip(&ws, http.MethodPost, path, "", nil)
+	status, resp, err := rep.up.roundTrip(&ws, http.MethodPost, path, "", tenantID{}, nil)
 	if err != nil {
 		return 0, fmt.Errorf("replica %s: %w", rep.Name, err)
 	}

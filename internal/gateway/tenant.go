@@ -1,0 +1,59 @@
+package gateway
+
+import "net/http"
+
+// Tenant pass-through. The gateway does not resolve tenants — that is the
+// replica's job — but it must carry the client's tenant identity across
+// the upstream hop, preserving the serve layer's semantics on both routes
+// in: an X-DACE-Tenant header is explicit (the replica 404s when unknown)
+// and forwards as the same header; a database query param is implicit (an
+// unmatched value falls back to the base model) and forwards as the same
+// query param, since the assembled upstream request otherwise carries no
+// query string.
+
+// tenantHeader is the canonical (net/textproto) key for X-DACE-Tenant;
+// reading the header map directly under it avoids Header.Get's
+// re-canonicalization on the hot path.
+const tenantHeader = "X-Dace-Tenant"
+
+// tenantID is one request's tenant identity for the upstream hop. The zero
+// value forwards nothing.
+type tenantID struct {
+	id       string
+	explicit bool // header (forward as header) vs database param (forward as query)
+}
+
+// tenantOf extracts the request's tenant identity. database is the already-
+// parsed database query param (the handlers need it anyway for pg parsing).
+// An implicit identity that is not a plausible tenant ID is dropped rather
+// than forwarded: it cannot name a registered tenant (the registry rejects
+// those shapes), the replica would fall back to the base model anyway, and
+// raw bytes like spaces or '&' must not be spliced into the upstream
+// request line.
+func tenantOf(r *http.Request, database string) tenantID {
+	if vs := r.Header[tenantHeader]; len(vs) > 0 && vs[0] != "" {
+		return tenantID{id: vs[0], explicit: true}
+	}
+	if !plausibleTenantID(database) {
+		return tenantID{}
+	}
+	return tenantID{id: database}
+}
+
+// plausibleTenantID mirrors the registry's tenant-ID rules ([A-Za-z0-9._-],
+// ≤128 bytes, not a dot path) without importing it.
+func plausibleTenantID(id string) bool {
+	if id == "" || len(id) > 128 || id == "." || id == ".." {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -96,15 +96,28 @@ type wireBuf struct {
 }
 
 // appendRequest assembles one complete HTTP/1.1 request. The header set is
-// fixed — the gateway always speaks the binary plan encoding upstream — so
-// assembly is a handful of appends into the reused request buffer.
-func (u *upstream) appendRequest(dst []byte, method, path, contentType string, body []byte) []byte {
+// near-fixed — the gateway always speaks the binary plan encoding upstream;
+// a tenant identity adds either one query param or one header — so assembly
+// is a handful of appends into the reused request buffer.
+func (u *upstream) appendRequest(dst []byte, method, path, contentType string, tenant tenantID, body []byte) []byte {
 	dst = append(dst, method...)
 	dst = append(dst, ' ')
 	dst = append(dst, path...)
+	if tenant.id != "" && !tenant.explicit {
+		// Implicit identity rides the same query param the client used; the
+		// forwarded paths carry no query string of their own. tenantOf has
+		// already constrained the value to the tenant-ID alphabet.
+		dst = append(dst, "?database="...)
+		dst = append(dst, tenant.id...)
+	}
 	dst = append(dst, " HTTP/1.1\r\nHost: "...)
 	dst = append(dst, u.hostHdr...)
 	dst = append(dst, "\r\n"...)
+	if tenant.id != "" && tenant.explicit {
+		dst = append(dst, "X-DACE-Tenant: "...)
+		dst = append(dst, tenant.id...)
+		dst = append(dst, "\r\n"...)
+	}
 	if contentType != "" {
 		dst = append(dst, "Content-Type: "...)
 		dst = append(dst, contentType...)
@@ -129,8 +142,8 @@ var errStaleConn = errors.New("gateway: stale upstream connection")
 // keep-alive pool invents (the replica closed the idle connection under
 // us). Every other transport error is returned to the caller, which treats
 // it as a replica health signal.
-func (u *upstream) roundTrip(ws *wireBuf, method, path, contentType string, body []byte) (int, []byte, error) {
-	ws.req = u.appendRequest(ws.req[:0], method, path, contentType, body)
+func (u *upstream) roundTrip(ws *wireBuf, method, path, contentType string, tenant tenantID, body []byte) (int, []byte, error) {
+	ws.req = u.appendRequest(ws.req[:0], method, path, contentType, tenant, body)
 	for attempt := 0; ; attempt++ {
 		c, reused, err := u.get()
 		if err != nil {
@@ -262,7 +275,7 @@ func (u *upstream) once(c *uconn, ws *wireBuf) (status int, body []byte, keep bo
 // probe performs a small GET and reports whether it answered 200 — the
 // health checker's primitive.
 func (u *upstream) probe(ws *wireBuf, path string) bool {
-	status, _, err := u.roundTrip(ws, "GET", path, "", nil)
+	status, _, err := u.roundTrip(ws, "GET", path, "", tenantID{}, nil)
 	return err == nil && status == 200
 }
 

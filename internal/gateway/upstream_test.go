@@ -84,7 +84,7 @@ func TestUpstreamContentLength(t *testing.T) {
 	defer u.closeIdle()
 	var ws wireBuf
 
-	status, body, err := u.roundTrip(&ws, "POST", "/x", "application/json", []byte("req"))
+	status, body, err := u.roundTrip(&ws, "POST", "/x", "application/json", tenantID{}, []byte("req"))
 	if err != nil || status != 200 || string(body) != "hello" {
 		t.Fatalf("got %d %q %v", status, body, err)
 	}
@@ -92,7 +92,7 @@ func TestUpstreamContentLength(t *testing.T) {
 		t.Fatalf("content type %q", ws.ct)
 	}
 	// Second request must reuse the pooled connection.
-	status, body, err = u.roundTrip(&ws, "GET", "/y", "", nil)
+	status, body, err = u.roundTrip(&ws, "GET", "/y", "", tenantID{}, nil)
 	if err != nil || status != 404 || string(body) != "no" {
 		t.Fatalf("got %d %q %v", status, body, err)
 	}
@@ -105,7 +105,7 @@ func TestUpstreamChunked(t *testing.T) {
 	u := newUpstream(addr, addr, 4, time.Second, time.Second)
 	defer u.closeIdle()
 	var ws wireBuf
-	status, body, err := u.roundTrip(&ws, "GET", "/", "", nil)
+	status, body, err := u.roundTrip(&ws, "GET", "/", "", tenantID{}, nil)
 	if err != nil || status != 200 || string(body) != "hello world" {
 		t.Fatalf("got %d %q %v", status, body, err)
 	}
@@ -119,11 +119,11 @@ func TestUpstreamConnectionClose(t *testing.T) {
 	u := newUpstream(addr, addr, 4, time.Second, time.Second)
 	defer u.closeIdle()
 	var ws wireBuf
-	if status, body, err := u.roundTrip(&ws, "GET", "/", "", nil); err != nil || status != 200 || string(body) != "ok" {
+	if status, body, err := u.roundTrip(&ws, "GET", "/", "", tenantID{}, nil); err != nil || status != 200 || string(body) != "ok" {
 		t.Fatalf("got %d %q %v", status, body, err)
 	}
 	// The close-flagged connection must not be reused; a fresh dial follows.
-	if status, body, err := u.roundTrip(&ws, "GET", "/", "", nil); err != nil || status != 200 || string(body) != "yes" {
+	if status, body, err := u.roundTrip(&ws, "GET", "/", "", tenantID{}, nil); err != nil || status != 200 || string(body) != "yes" {
 		t.Fatalf("got %d %q %v", status, body, err)
 	}
 }
@@ -139,7 +139,7 @@ func TestUpstreamStaleConnRetry(t *testing.T) {
 	u := newUpstream(addr, addr, 4, time.Second, time.Second)
 	defer u.closeIdle()
 	var ws wireBuf
-	if _, body, err := u.roundTrip(&ws, "GET", "/", "", nil); err != nil || string(body) != "a" {
+	if _, body, err := u.roundTrip(&ws, "GET", "/", "", tenantID{}, nil); err != nil || string(body) != "a" {
 		t.Fatalf("got %q %v", body, err)
 	}
 	// The pooled connection is now closed server-side. Wait for the close
@@ -148,7 +148,7 @@ func TestUpstreamStaleConnRetry(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, body, err := u.roundTrip(&ws, "GET", "/", "", nil); err != nil || string(body) != "b" {
+	if _, body, err := u.roundTrip(&ws, "GET", "/", "", tenantID{}, nil); err != nil || string(body) != "b" {
 		t.Fatalf("stale-conn retry failed: %q %v", body, err)
 	}
 }

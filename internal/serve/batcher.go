@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dace/internal/core"
 	"dace/internal/plan"
 	"dace/internal/telemetry"
 )
@@ -53,9 +54,12 @@ type batcher struct {
 }
 
 // batchReq is one queued request; done is closed once preds/err are set.
+// model is the tenant's adapter view, or nil for the server model — one
+// queue serves every tenant, and run partitions by model at drain time.
 // enq is the submit timestamp, set only when queue-wait telemetry is on.
 type batchReq struct {
 	p     *plan.Plan
+	model *core.Model
 	preds []float64
 	err   error
 	done  chan struct{}
@@ -79,10 +83,12 @@ func newBatcher(srv *Server, maxBatch int, maxWait time.Duration, depth int) *ba
 // start launches the collector goroutine.
 func (b *batcher) start() { go b.loop() }
 
-// submit enqueues a plan and blocks until its batch has run. It never
-// blocks on a full queue — that is the backpressure signal.
-func (b *batcher) submit(p *plan.Plan) ([]float64, error) {
-	r := &batchReq{p: p, done: make(chan struct{})}
+// submit enqueues a plan and blocks until its batch has run. m selects the
+// model (nil = the server's current model; a tenant's adapter view
+// otherwise). It never blocks on a full queue — that is the backpressure
+// signal.
+func (b *batcher) submit(p *plan.Plan, m *core.Model) ([]float64, error) {
+	r := &batchReq{p: p, model: m, done: make(chan struct{})}
 	if b.waitHist != nil {
 		r.enq = time.Now()
 	}
@@ -188,29 +194,80 @@ func (b *batcher) run(reqs []*batchReq) {
 			}
 		}
 	}()
-	b.plans = b.plans[:0]
-	for _, r := range reqs {
-		b.plans = append(b.plans, r.p)
-	}
 	if b.waitHist != nil {
 		now := time.Now()
 		for _, r := range reqs {
 			b.waitHist.Observe(now.Sub(r.enq).Seconds())
 		}
 	}
-	// Append-style batch: the outs header is recycled run-to-run; the inner
-	// slices were nil'd below after the previous batch (their predictions
-	// escaped with the waiters), so each is grown fresh here.
-	b.outs = b.srv.Model().AppendPredictSubPlansBatch(b.outs, b.plans, b.srv.Workers)
-	b.batches.Add(1)
-	b.requests.Add(uint64(len(reqs)))
-	if b.sizeHist != nil {
-		b.sizeHist.Observe(float64(len(reqs)))
+	// One queue serves every tenant, so a drain window can mix models.
+	// Resolve the server model once (nil entries all ride the same one, so
+	// a batch straddling SetModel is still served consistently), then check
+	// whether the batch is homogeneous — the overwhelmingly common case.
+	serverM := b.srv.Model()
+	mixed := false
+	first := reqs[0].model
+	for _, r := range reqs[1:] {
+		if r.model != first {
+			mixed = true
+			break
+		}
 	}
-	for i, r := range reqs {
-		r.preds = b.outs[i]
-		b.outs[i] = nil // ownership moves to the waiter; never refill in place
-		close(r.done)
+	if !mixed {
+		m := first
+		if m == nil {
+			m = serverM
+		}
+		b.plans = b.plans[:0]
+		for _, r := range reqs {
+			b.plans = append(b.plans, r.p)
+		}
+		// Append-style batch: the outs header is recycled run-to-run; the
+		// inner slices were nil'd below after the previous batch (their
+		// predictions escaped with the waiters), so each is grown fresh here.
+		b.outs = m.AppendPredictSubPlansBatch(b.outs, b.plans, b.srv.Workers)
+		b.observeBatch(len(reqs))
+		for i, r := range reqs {
+			r.preds = b.outs[i]
+			b.outs[i] = nil // ownership moves to the waiter; never refill in place
+			close(r.done)
+		}
+		return
+	}
+	// Heterogeneous batch: group by model and fan each group through its
+	// own data-parallel pass. Rare enough (tenant mixes within one ~200µs
+	// window) that the per-group allocations don't matter. Each request's
+	// done closes as soon as its group finishes — the panic guard above
+	// still sees preds==nil for anything not yet answered.
+	groups := make(map[*core.Model][]*batchReq)
+	for _, r := range reqs {
+		m := r.model
+		if m == nil {
+			m = serverM
+		}
+		groups[m] = append(groups[m], r)
+	}
+	for m, grp := range groups {
+		sub := make([]*plan.Plan, len(grp))
+		for i, r := range grp {
+			sub[i] = r.p
+		}
+		outs := m.AppendPredictSubPlansBatch(nil, sub, b.srv.Workers)
+		for i, r := range grp {
+			r.preds = outs[i]
+			close(r.done)
+		}
+	}
+	b.observeBatch(len(reqs))
+}
+
+// observeBatch records one executed batch in the counters and, when
+// telemetry is on, the size histogram.
+func (b *batcher) observeBatch(n int) {
+	b.batches.Add(1)
+	b.requests.Add(uint64(n))
+	if b.sizeHist != nil {
+		b.sizeHist.Observe(float64(n))
 	}
 }
 

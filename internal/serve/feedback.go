@@ -61,6 +61,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown format (want plan or pg)", http.StatusBadRequest)
 		return
 	}
+	tc, tenantID, handled := s.resolveTenant(w, r, r.URL.RawQuery)
+	if handled {
+		return
+	}
+	if tenantID == "" && s.Feedback == nil {
+		// Registered because Tenants is set; without a resolved tenant there
+		// is no global sink to deliver to.
+		http.Error(w, "feedback requires a registered tenant (X-DACE-Tenant or database param)", http.StatusUnprocessableEntity)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, MaxFeedbackBody)
 
 	var req feedbackRequest
@@ -86,14 +96,22 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fill in the serving model's answer when the client didn't record one;
-	// the pipeline makes this nearly free for plans seen before.
+	// Fill in the serving model's answer when the client didn't record one —
+	// through the tenant's own adapter view, so drift is measured against
+	// what that tenant is actually served. The pipeline makes this nearly
+	// free for plans seen before.
 	if req.PredictedMS == 0 {
-		if preds, err := s.predsFor(p); err == nil && len(preds) > 0 {
+		if preds, err := s.predsFor(p, tc); err == nil && len(preds) > 0 {
 			req.PredictedMS = preds[0]
 		}
 	}
-	s.Feedback.Observe(p, req.ActualMS, req.PredictedMS)
+	// A resolved tenant owns its feedback stream; everything else goes to
+	// the global sink (when configured).
+	if tenantID != "" {
+		s.Tenants.Observe(tenantID, p, req.ActualMS, req.PredictedMS)
+	} else {
+		s.Feedback.Observe(p, req.ActualMS, req.PredictedMS)
+	}
 	if s.tel != nil {
 		s.tel.feedback.Inc()
 	}

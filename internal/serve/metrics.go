@@ -61,7 +61,7 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 	sm := &serverMetrics{reg: reg, endpoints: make(map[string]*endpointMetrics)}
 
 	bodyEndpoints := map[string]bool{"/predict": true, "/predict/batch": true, "/feedback": true}
-	for _, ep := range []string{"/predict", "/predict/batch", "/feedback", "/adapt/status", "/adapt/trigger", "/healthz", "/metrics", "/model/load", "/model"} {
+	for _, ep := range []string{"/predict", "/predict/batch", "/feedback", "/adapt/status", "/adapt/trigger", "/healthz", "/metrics", "/model/load", "/model", "/tenants"} {
 		em := &endpointMetrics{
 			latency: reg.Histogram("dace_http_request_seconds",
 				"HTTP request latency by endpoint.",

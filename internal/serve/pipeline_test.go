@@ -222,13 +222,13 @@ func TestQueueFullBackpressure(t *testing.T) {
 	results := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			_, err := b.submit(p)
+			_, err := b.submit(p, nil)
 			results <- err
 		}()
 	}
 	waitFor(t, func() bool { return len(b.queue) == 2 })
 
-	if _, err := b.submit(p); err != errQueueFull {
+	if _, err := b.submit(p, nil); err != errQueueFull {
 		t.Fatalf("overflow submit: err = %v, want errQueueFull", err)
 	}
 	if got := b.stats().Rejected; got != 1 {
@@ -244,7 +244,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 		}
 	}
 	b.close()
-	if _, err := b.submit(p); err != errClosed {
+	if _, err := b.submit(p, nil); err != errClosed {
 		t.Fatalf("post-close submit: err = %v, want errClosed", err)
 	}
 }

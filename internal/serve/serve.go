@@ -112,6 +112,14 @@ type Server struct {
 	Feedback FeedbackSink
 	Adapt    Adapter
 
+	// Tenants, when set before Handler is called, enables multi-tenant
+	// serving: /predict and /predict/batch resolve the tenant from the
+	// X-DACE-Tenant header or the database query param and answer through
+	// that tenant's adapter view, with both caches domain-separated by
+	// (tenant, adapter generation); /feedback routes to the tenant's own
+	// adaptation stream; the /tenants endpoint tree is registered.
+	Tenants TenantRegistry
+
 	// Loader, when set before Handler is called, enables POST /model/load:
 	// the gateway's rollout path asks a replica to swap to a versioned
 	// artifact, and the replica resolves the version through this hook
@@ -235,8 +243,13 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/model/load", s.instrument("/model/load", s.handleModelLoad))
 		mux.HandleFunc("/model", s.instrument("/model", s.handleModel))
 	}
-	if s.Feedback != nil {
+	if s.Feedback != nil || s.Tenants != nil {
 		mux.HandleFunc("/feedback", s.instrument("/feedback", s.handleFeedback))
+	}
+	if s.Tenants != nil {
+		h := s.instrument("/tenants", s.handleTenants)
+		mux.HandleFunc("/tenants", h)
+		mux.HandleFunc("/tenants/", h)
 	}
 	if s.Adapt != nil {
 		mux.HandleFunc("/adapt/status", s.instrument("/adapt/status", s.handleAdaptStatus))
@@ -306,25 +319,27 @@ func decodePlan(body *bytes.Reader, format, database string) (*plan.Plan, error)
 
 // predsFor resolves a plan's DFS predictions through the pipeline:
 // fingerprint cache first (coalescing concurrent misses into one compute),
-// then the micro-batcher or a direct forward pass. The returned slice may
-// be shared with other requests — callers must treat it as read-only.
-func (s *Server) predsFor(p *plan.Plan) ([]float64, error) {
+// then the micro-batcher or a direct forward pass. The cache key carries
+// the tenant context's salt, so tenants never share entries with each
+// other or with the global domain. The returned slice may be shared with
+// other requests — callers must treat it as read-only.
+func (s *Server) predsFor(p *plan.Plan, tc tenantCtx) ([]float64, error) {
 	if s.preds != nil {
 		if fp := p.Fingerprint(); !fp.IsZero() {
-			return s.preds.GetOrCompute(servecache.Key(fp), func() ([]float64, error) {
-				return s.infer(p)
+			return s.preds.GetOrCompute(tc.key(servecache.Key(fp)), func() ([]float64, error) {
+				return s.infer(p, tc)
 			})
 		}
 	}
-	return s.infer(p)
+	return s.infer(p, tc)
 }
 
 // infer runs one uncached forward pass, through the batcher when enabled.
-func (s *Server) infer(p *plan.Plan) ([]float64, error) {
+func (s *Server) infer(p *plan.Plan, tc tenantCtx) ([]float64, error) {
 	if s.bat != nil {
-		return s.bat.submit(p)
+		return s.bat.submit(p, tc.model)
 	}
-	return s.Model().PredictSubPlans(p), nil
+	return tc.modelOr(s).PredictSubPlans(p), nil
 }
 
 // docScratch holds the reusable per-request response-assembly buffers.
@@ -351,6 +366,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
 		return
 	}
+	tc, _, handled := s.resolveTenant(w, r, query)
+	if handled {
+		return
+	}
 
 	ws := wirePool.Get().(*wireScratch)
 	defer wirePool.Put(ws)
@@ -362,12 +381,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	if s.bodies != nil && len(body) <= maxCachedBody {
 		// Exact wire-bytes hit: skip plan decode, fingerprinting, and encode
-		// entirely — the whole request is hash, lookup, write.
+		// entirely — the whole request is hash, lookup, write. The tenant
+		// salt domain-separates the key: a hot-swap (generation bump) orphans
+		// that tenant's entries without touching anyone else's.
 		var key servecache.Key
 		if binary {
-			key = servecache.KeyOf(body, binaryBodyTag, []byte(database))
+			key = tc.key(servecache.KeyOf(body, binaryBodyTag, []byte(database)))
 		} else {
-			key = servecache.KeyOf(body, []byte(format), []byte(database))
+			key = tc.key(servecache.KeyOf(body, []byte(format), []byte(database)))
 		}
 		if resp, ok := s.bodies.Lookup(key); ok {
 			writeResponseBytes(w, resp)
@@ -376,7 +397,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// Miss: render into a fresh cacheable buffer; identical in-flight
 		// bodies coalesce here too.
 		resp, err := s.bodies.GetOrCompute(key, func() ([]byte, error) {
-			return s.renderPredict(ws, nil, body, format, database, binary)
+			return s.renderPredict(ws, nil, body, format, database, binary, tc)
 		})
 		if err != nil {
 			writeError(w, err)
@@ -385,7 +406,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeResponseBytes(w, resp)
 		return
 	}
-	ws.resp, err = s.renderPredict(ws, ws.resp[:0], body, format, database, binary)
+	ws.resp, err = s.renderPredict(ws, ws.resp[:0], body, format, database, binary, tc)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -414,6 +435,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	binary := isBinaryContentType(r.Header.Get("Content-Type"))
 	if binary && format == "pg" {
 		http.Error(w, "binary plan encoding cannot carry pg explain output", http.StatusBadRequest)
+		return
+	}
+	tc, _, handled := s.resolveTenant(w, r, query)
+	if handled {
 		return
 	}
 
@@ -448,7 +473,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			plans = append(plans, f.Tree())
-			keys = append(keys, servecache.Key(f.Fingerprint))
+			keys = append(keys, tc.key(servecache.Key(f.Fingerprint)))
 		}
 	} else {
 		var raw []json.RawMessage
@@ -465,7 +490,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 					writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
 					return
 				}
-				plans[i], keys[i] = p, servecache.Key(p.Fingerprint())
+				plans[i], keys[i] = p, tc.key(servecache.Key(p.Fingerprint()))
 				continue
 			}
 			f, err := ws.dec.Decode(msg)
@@ -476,11 +501,11 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 				writeError(w, fmt.Errorf("plan[%d]: %w", i, err))
 				return
 			}
-			plans[i], keys[i] = f.Tree(), servecache.Key(f.Fingerprint)
+			plans[i], keys[i] = f.Tree(), tc.key(servecache.Key(f.Fingerprint))
 		}
 	}
 
-	preds := s.batchPreds(plans, keys)
+	preds := s.batchPreds(plans, keys, tc.modelOr(s))
 	out := append(ws.resp[:0], '[')
 	for i := range plans {
 		if i > 0 {
@@ -499,10 +524,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 // intra-batch duplicates are served from one compute, and the remaining
 // misses run as a single data-parallel batch (the request is already a
 // batch, so it bypasses the micro-batcher). keys[i] must be plans[i]'s
-// fingerprint key — the decode paths already hold it, so nothing is hashed
-// twice.
-func (s *Server) batchPreds(plans []*plan.Plan, keys []servecache.Key) [][]float64 {
-	m := s.Model()
+// salted fingerprint key — the decode paths already hold it, so nothing is
+// hashed twice — and m the request's resolved (tenant or global) model.
+func (s *Server) batchPreds(plans []*plan.Plan, keys []servecache.Key, m *core.Model) [][]float64 {
 	if s.preds == nil {
 		return m.PredictSubPlansBatch(plans, s.Workers)
 	}
@@ -551,6 +575,12 @@ type Health struct {
 	PlanCache    *servecache.Stats `json:"plan_cache,omitempty"`
 	BodyCache    *servecache.Stats `json:"body_cache,omitempty"`
 	Queue        *QueueStats       `json:"queue,omitempty"`
+	// Tenant state (present only in multi-tenant mode): how many tenants
+	// are registered and which adapter artifact version each one serves —
+	// so an operator can confirm a promotion landed without scraping
+	// /metrics.
+	Tenants        int            `json:"tenants,omitempty"`
+	TenantVersions map[string]int `json:"tenant_versions,omitempty"`
 }
 
 // QueueStats snapshots the micro-batcher.
@@ -586,6 +616,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.bat != nil {
 		qs := s.bat.stats()
 		h.Queue = &qs
+	}
+	if s.Tenants != nil {
+		h.TenantVersions = s.Tenants.Versions()
+		h.Tenants = len(h.TenantVersions)
 	}
 	writeJSON(w, h)
 }

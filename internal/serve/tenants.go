@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"errors"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dace/internal/core"
+	"dace/internal/plan"
+	"dace/internal/servecache"
+)
+
+// The multi-tenant surface. serve deliberately does not import the tenant
+// package (which would drag in adapt): the server talks to the adapter
+// registry through this interface, and the daemon wires the concrete type
+// in. A server with nil Tenants serves exactly as before — single model,
+// zero-salt cache domain.
+
+// TenantRegistry selects a per-tenant adapter view (one shared frozen
+// encoder + that tenant's LoRA adapters) and its cache-domain salt per
+// request. *tenant.Registry satisfies it.
+//
+// Resolve sits on the predict hot path: implementations must be lock-free
+// and allocation-free. The salt must be unique per (tenant, adapter
+// generation) so the serving caches never answer across tenants or across
+// an adapter hot-swap; the zero salt is reserved for the global (non-
+// tenant) domain.
+type TenantRegistry interface {
+	Resolve(id string) (m *core.Model, salt servecache.Key, ok bool)
+	Observe(id string, p *plan.Plan, actualMS, predictedMS float64) bool
+	Create(id string) (created bool, err error)
+	Describe(id string) (info any, ok bool)
+	List() any
+	Status(id string) (status any, ok bool)
+	Trigger(id string) (outcome any, err error)
+	Rollback(id string) (version int, err error)
+	LoadAdapter(id string, version int) (served int, err error)
+	Versions() map[string]int
+}
+
+// TenantHeader is the canonical (net/textproto) form of the X-DACE-Tenant
+// request header. Incoming header keys are canonicalized by net/http, so
+// the hot path reads the header map directly under this key — Header.Get
+// on the display form "X-DACE-Tenant" would re-canonicalize per call.
+const TenantHeader = "X-Dace-Tenant"
+
+// tenantCtx is one request's serving context: which model answers and
+// which cache domain the answer lives in. The zero value is the global
+// domain (server model, identity salt).
+type tenantCtx struct {
+	model *core.Model
+	salt  servecache.Key
+}
+
+// key folds the tenant's cache salt into a content key. The global
+// domain's zero salt makes this the identity, so the non-tenant path pays
+// two XORs and no branch.
+func (tc tenantCtx) key(k servecache.Key) servecache.Key {
+	return servecache.Key{Hi: k.Hi ^ tc.salt.Hi, Lo: k.Lo ^ tc.salt.Lo}
+}
+
+// modelOr returns the tenant's adapter view, or the server's model for the
+// global domain.
+func (tc tenantCtx) modelOr(s *Server) *core.Model {
+	if tc.model != nil {
+		return tc.model
+	}
+	return s.Model()
+}
+
+// tenantParam extracts the request's tenant identity — the shared helper
+// for every endpoint that is tenant-aware. The X-DACE-Tenant header wins
+// over the database query param; explicit reports which one named it. An
+// explicitly named tenant must exist (the caller 404s), while a database
+// value that matches no tenant falls back to the base model, keeping
+// pre-tenant clients working unchanged.
+func tenantParam(r *http.Request, query string) (id string, explicit bool) {
+	if vs := r.Header[TenantHeader]; len(vs) > 0 && vs[0] != "" {
+		return vs[0], true
+	}
+	return queryParam(query, "database"), false
+}
+
+// resolveTenant maps the request to its serving context. handled=true
+// means the response was already written (404 for an explicitly named
+// unknown tenant); id is non-empty only when a registered tenant resolved.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request, query string) (tc tenantCtx, id string, handled bool) {
+	if s.Tenants == nil {
+		return tenantCtx{}, "", false
+	}
+	id, explicit := tenantParam(r, query)
+	if id == "" {
+		return tenantCtx{}, "", false
+	}
+	m, salt, ok := s.Tenants.Resolve(id)
+	if !ok {
+		if explicit {
+			http.Error(w, "unknown tenant: "+id, http.StatusNotFound)
+			return tenantCtx{}, "", true
+		}
+		return tenantCtx{}, "", false
+	}
+	return tenantCtx{model: m, salt: salt}, id, false
+}
+
+// handleTenants routes the /tenants tree:
+//
+//	GET  /tenants                          all tenants (sorted Info rows)
+//	POST /tenants/{id}                     register a tenant (idempotent)
+//	GET  /tenants/{id}                     one tenant's Info
+//	GET  /tenants/{id}/adapt/status        that tenant's adapt.Status
+//	POST /tenants/{id}/adapt/trigger       synchronous gated fine-tune
+//	POST /tenants/{id}/adapter/load?version=N  serve artifact version N
+//	POST /tenants/{id}/adapter/rollback    revert to the previous artifact
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/tenants")
+	path = strings.TrimPrefix(path, "/")
+	if path == "" {
+		if !allowOnly(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, s.Tenants.List())
+		return
+	}
+	id, rest := path, ""
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		id, rest = path[:i], path[i+1:]
+	}
+
+	switch rest {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			info, ok := s.Tenants.Describe(id)
+			if !ok {
+				http.Error(w, "unknown tenant: "+id, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, info)
+		case http.MethodPost:
+			created, err := s.Tenants.Create(id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if created {
+				w.WriteHeader(http.StatusCreated)
+			}
+			info, _ := s.Tenants.Describe(id)
+			writeJSON(w, info)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+		}
+
+	case "adapt/status":
+		if !allowOnly(w, r, http.MethodGet) {
+			return
+		}
+		st, ok := s.Tenants.Status(id)
+		if !ok {
+			http.Error(w, "unknown tenant: "+id, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+
+	case "adapt/trigger":
+		if !allowOnly(w, r, http.MethodPost) {
+			return
+		}
+		if _, ok := s.Tenants.Describe(id); !ok {
+			http.Error(w, "unknown tenant: "+id, http.StatusNotFound)
+			return
+		}
+		out, err := s.Tenants.Trigger(id)
+		if err != nil {
+			writeTenantError(w, err)
+			return
+		}
+		writeJSON(w, out)
+
+	case "adapter/load":
+		if !allowOnly(w, r, http.MethodPost) {
+			return
+		}
+		v, err := strconv.Atoi(queryParam(r.URL.RawQuery, "version"))
+		if err != nil || v < 1 {
+			http.Error(w, "version query parameter required (a positive integer)", http.StatusBadRequest)
+			return
+		}
+		if _, err := s.Tenants.LoadAdapter(id, v); err != nil {
+			writeTenantError(w, err)
+			return
+		}
+		info, _ := s.Tenants.Describe(id)
+		writeJSON(w, info)
+
+	case "adapter/rollback":
+		if !allowOnly(w, r, http.MethodPost) {
+			return
+		}
+		if _, ok := s.Tenants.Describe(id); !ok {
+			http.Error(w, "unknown tenant: "+id, http.StatusNotFound)
+			return
+		}
+		if _, err := s.Tenants.Rollback(id); err != nil {
+			writeTenantError(w, err)
+			return
+		}
+		info, _ := s.Tenants.Describe(id)
+		writeJSON(w, info)
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// writeTenantError maps registry errors: contention is 409, a missing
+// artifact is 404, an invalid ID is 400, anything else is the request's
+// fault but well-formed (422, matching the /adapt endpoints).
+func writeTenantError(w http.ResponseWriter, err error) {
+	var busy interface{ Busy() bool }
+	switch {
+	case errors.As(err, &busy) && busy.Busy():
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, fs.ErrNotExist):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	}
+}

@@ -293,29 +293,30 @@ func appendPredictionTree(b []byte, p *plan.Plan, preds []float64) ([]byte, erro
 }
 
 // predsForFlat resolves a flat plan's predictions through the fingerprint
-// cache. The probe goes through Lookup first so a steady-state hit builds no
-// compute closure; only an absent key pays for GetOrCompute's coalescing.
-func (s *Server) predsForFlat(f *plan.FlatPlan) ([]float64, error) {
+// cache, within the request's tenant cache domain. The probe goes through
+// Lookup first so a steady-state hit builds no compute closure; only an
+// absent key pays for GetOrCompute's coalescing.
+func (s *Server) predsForFlat(f *plan.FlatPlan, tc tenantCtx) ([]float64, error) {
 	if s.preds != nil && !f.Fingerprint.IsZero() {
-		key := servecache.Key(f.Fingerprint)
+		key := tc.key(servecache.Key(f.Fingerprint))
 		if v, ok := s.preds.Lookup(key); ok {
 			return v, nil
 		}
 		return s.preds.GetOrCompute(key, func() ([]float64, error) {
-			return s.inferFlat(f)
+			return s.inferFlat(f, tc)
 		})
 	}
-	return s.inferFlat(f)
+	return s.inferFlat(f, tc)
 }
 
 // inferFlat runs one uncached forward pass for a flat plan. Only the
 // micro-batcher still needs a tree (its queue outlives the decoder arenas);
 // the direct path featurizes the flat arrays in place.
-func (s *Server) inferFlat(f *plan.FlatPlan) ([]float64, error) {
+func (s *Server) inferFlat(f *plan.FlatPlan, tc tenantCtx) ([]float64, error) {
 	if s.bat != nil {
-		return s.bat.submit(f.Tree())
+		return s.bat.submit(f.Tree(), tc.model)
 	}
-	return s.Model().AppendPredictSubPlansFlat(nil, f), nil
+	return tc.modelOr(s).AppendPredictSubPlansFlat(nil, f), nil
 }
 
 // renderPredict produces the /predict response bytes for one body-cache
@@ -323,21 +324,21 @@ func (s *Server) inferFlat(f *plan.FlatPlan) ([]float64, error) {
 // output may be inserted into the body cache, so it is appended to dst —
 // pass nil for a fresh cacheable slice, or a pooled buffer when the
 // response will not be retained.
-func (s *Server) renderPredict(ws *wireScratch, dst, body []byte, format, database string, binary bool) ([]byte, error) {
+func (s *Server) renderPredict(ws *wireScratch, dst, body []byte, format, database string, binary bool, tc tenantCtx) ([]byte, error) {
 	if format == "pg" {
 		p, err := decodePlan(bytes.NewReader(body), format, database)
 		if err != nil {
 			return nil, err
 		}
 		if s.preds == nil && s.bat == nil {
-			ws.preds = s.Model().AppendPredictSubPlans(ws.preds[:0], p)
+			ws.preds = tc.modelOr(s).AppendPredictSubPlans(ws.preds[:0], p)
 			out, err := appendPredictionTree(dst, p, ws.preds)
 			if err != nil {
 				return nil, err
 			}
 			return append(out, '\n'), nil
 		}
-		preds, err := s.predsFor(p)
+		preds, err := s.predsFor(p, tc)
 		if err != nil {
 			return nil, err
 		}
@@ -363,9 +364,9 @@ func (s *Server) renderPredict(ws *wireScratch, dst, body []byte, format, databa
 	}
 	var preds []float64
 	if s.preds == nil && s.bat == nil {
-		ws.preds = s.Model().AppendPredictSubPlansFlat(ws.preds[:0], f)
+		ws.preds = tc.modelOr(s).AppendPredictSubPlansFlat(ws.preds[:0], f)
 		preds = ws.preds
-	} else if preds, err = s.predsForFlat(f); err != nil {
+	} else if preds, err = s.predsForFlat(f, tc); err != nil {
 		return nil, err
 	}
 	out, err := appendPrediction(dst, f, preds)

@@ -1,0 +1,34 @@
+package tenant
+
+import "fmt"
+
+// MaxIDLen bounds tenant identifiers; they appear in headers, metric
+// labels, and artifact paths.
+const MaxIDLen = 128
+
+// ValidateID accepts exactly the identifiers that are safe to use as an
+// artifact directory name, a metric label value, and a header value:
+// 1–128 bytes of [A-Za-z0-9._-], excluding the path specials "." and
+// "..". Path separators are outside the charset, so a valid ID can never
+// traverse out of the tenants root.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("tenant: empty id")
+	}
+	if len(id) > MaxIDLen {
+		return fmt.Errorf("tenant: id exceeds %d bytes", MaxIDLen)
+	}
+	if id == "." || id == ".." {
+		return fmt.Errorf("tenant: id %q is a reserved path name", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("tenant: id contains invalid byte %q at %d", c, i)
+		}
+	}
+	return nil
+}
