@@ -5,9 +5,9 @@ GO ?= go
 # scorer memo behind the optimizer's cost-model hook, the lock-free
 # multi-tenant adapter registry) and must stay clean under the race
 # detector.
-RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry ./internal/optimizer ./internal/tenant
+RACE_PKGS := ./internal/nn ./internal/core ./internal/plan ./internal/serve ./internal/servecache ./internal/gateway ./internal/baselines ./internal/feedback ./internal/adapt ./internal/telemetry ./internal/optimizer ./internal/tenant ./internal/loadgen
 
-.PHONY: all fmt vet build test race bench ci
+.PHONY: all fmt vet build test race bench ci load-smoke
 
 all: ci
 
@@ -41,6 +41,15 @@ bench:
 # for catching real regressions, not scheduler noise.
 bench-check:
 	$(GO) run ./cmd/bench -quick -out /tmp/dace-bench-check.json -baseline BENCH_2026-08-09.json -check -max-regress 35
+
+# Open-loop load smoke (also part of the default bench-check flow, since an
+# empty -only runs every group): closed-loop capacity probe, open-loop tail
+# at 3× saturation (the coordinated-omission check — fails unless open-loop
+# P99 >= 5× closed-loop P99), and the drift-soak with one mid-flight adapt
+# promotion gated on windowed P99 ratio, post-GC heap slope, and errors.
+# Writes SOAK_<date>.csv / SOAK_<date>.md next to the bench JSON.
+load-smoke:
+	$(GO) run ./cmd/bench -quick -only load -check
 
 # Optimizer-in-the-loop scoring scenarios only: memoized vs unmemoized
 # candidate throughput and DP join-search wall-clock (classic vs DACE).

@@ -1,12 +1,11 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -97,6 +96,10 @@ func benchAdapt(rep *Report, m *core.Model, plans []*plan.Plan, quick bool, warm
 		}
 	}()
 
+	target, err := url.Parse(srv.URL + "/predict")
+	if err != nil {
+		log.Fatalf("bench: adapt/serve_during_finetune: %v", err)
+	}
 	run := func(bodies [][]byte, record []float64) {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -104,20 +107,19 @@ func benchAdapt(rep *Report, m *core.Model, plans []*plan.Plan, quick bool, warm
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				hdr := http.Header{"Content-Type": []string{"application/json"}}
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(bodies) {
 						return
 					}
 					t0 := time.Now()
-					resp, err := client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(bodies[i]))
+					status, err := postRetryAfter(client, target, hdr, bodies[i])
 					if err != nil {
 						log.Fatalf("bench: adapt/serve_during_finetune: %v", err)
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						log.Fatalf("bench: adapt/serve_during_finetune: status %d", resp.StatusCode)
+					if status != http.StatusOK {
+						log.Fatalf("bench: adapt/serve_during_finetune: status %d", status)
 					}
 					if record != nil {
 						record[i] = float64(time.Since(t0))

@@ -127,7 +127,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: built-in PR 1 numbers)")
 	check := flag.Bool("check", false, "exit non-zero if any scenario's plans/sec regresses more than -max-regress vs the baseline")
 	maxRegress := flag.Float64("max-regress", 25, "regression threshold for -check, percent")
-	only := flag.String("only", "", "comma-separated scenario groups to run (train,infer,decode,telemetry,serve,tenant,adapt,gateway,score); empty = all")
+	only := flag.String("only", "", "comma-separated scenario groups to run (train,infer,decode,telemetry,serve,tenant,adapt,gateway,score,load); empty = all")
 	flag.Parse()
 
 	onlySet := map[string]bool{}
@@ -300,6 +300,17 @@ func main() {
 		gwSpeedup = benchGateway(&rep, m, test, *quick)
 	}
 
+	// Open-loop load scenarios: the coordinated-omission demonstration
+	// (closed-loop capacity probe vs open-loop at 3× saturation) and the
+	// drift-soak with a real mid-flight adapt promotion. The soak's
+	// windowed CSV/Markdown evidence lands in SOAK_<date>.{csv,md}.
+	var load loadOutcome
+	loadRan := false
+	if group("load") {
+		load = benchLoad(&rep, m, test, *quick)
+		loadRan = true
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
@@ -352,6 +363,25 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "bench: telemetry within budget (%.2f%% overhead, %.2f allocs/op)\n", telOverhead, telAllocs)
 		}
+		// The open-loop budgets are absolute: the whole point of intended-
+		// start accounting is that overload tail latency dwarfs what a
+		// closed loop reports, and the soak exists to prove a promotion
+		// costs neither a latency cliff nor a heap leak.
+		if loadRan {
+			if load.CORatio < 5 {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION open-loop P99 only %.1f× closed-loop P99 at 3× saturation, want >= 5×\n", load.CORatio)
+				os.Exit(1)
+			}
+			if !load.Promoted {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION drift-soak never promoted a candidate — the hot-swap path went unexercised")
+				os.Exit(1)
+			}
+			if !load.SoakPassed {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION drift-soak gates failed (see SOAK report)")
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: open-loop P99 %.1f× closed-loop at 3× saturation (>= 5× required); soak gates passed with a mid-flight promotion\n", load.CORatio)
+		}
 		// The memoization budget is absolute too: the scorer must beat naive
 		// per-candidate sub-plan inference by at least 5× on the DP-search
 		// candidate workload (the optimizer-in-the-loop acceptance bar).
@@ -382,7 +412,11 @@ var uncheckedScenarios = map[string]bool{
 func checkRegressions(rep Report, baseline map[string]Result, maxRegress float64) []string {
 	var out []string
 	for _, r := range rep.Results {
-		if uncheckedScenarios[r.Name] {
+		// load/* rows are schedule- or event-driven, not steady-state code
+		// speed: open-loop throughput equals the offered schedule by
+		// construction, and the soak overlaps a fine-tune. Their real gates
+		// (CO ratio, soak windows) are asserted directly in main.
+		if uncheckedScenarios[r.Name] || strings.HasPrefix(r.Name, "load/") {
 			fmt.Fprintf(os.Stderr, "bench: %s exempt from regression check (contention-bound)\n", r.Name)
 			continue
 		}

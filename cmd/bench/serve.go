@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,6 +144,52 @@ func (w *workload) binary(bodies [][]byte) [][]byte {
 	return out
 }
 
+// postRetryAfter posts body to target, honoring the server's backpressure
+// contract: a 503/429 with Retry-After means "come back later", not
+// "crash the client". It backs off for the advertised delay (or an
+// escalating default when absent), with full jitter so blocked clients
+// don't re-arrive in lockstep, and retries up to 8 attempts. The response
+// body is drained and closed; the final status is returned.
+func postRetryAfter(client *http.Client, target *url.URL, hdr http.Header, body []byte) (int, error) {
+	const maxAttempts = 8
+	for attempt := 1; ; attempt++ {
+		req := &http.Request{
+			Method: http.MethodPost,
+			URL:    target,
+			Header: hdr,
+			Body:   io.NopCloser(bytes.NewReader(body)),
+			GetBody: func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(body)), nil
+			},
+			ContentLength: int64(len(body)),
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
+			return resp.StatusCode, nil
+		}
+		if attempt == maxAttempts {
+			return resp.StatusCode, fmt.Errorf("backpressured after %d attempts (status %d)", attempt, resp.StatusCode)
+		}
+		wait := time.Duration(attempt) * 50 * time.Millisecond
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		// Full jitter over [wait/2, wait]: the mean backoff stays near the
+		// server's ask while the herd decorrelates.
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1)))
+	}
+}
+
 // benchServe measures end-to-end /predict throughput and latency through
 // httptest servers — real HTTP over loopback, concurrent clients — for
 // every scenario, verifying first that the pipeline's responses are
@@ -195,24 +242,12 @@ func benchServe(rep *Report, m *core.Model, plans []*plan.Plan, quick bool) floa
 						}
 						body := bodies[i]
 						t0 := time.Now()
-						req := &http.Request{
-							Method: http.MethodPost,
-							URL:    target,
-							Header: hdr,
-							Body:   io.NopCloser(bytes.NewReader(body)),
-							GetBody: func() (io.ReadCloser, error) {
-								return io.NopCloser(bytes.NewReader(body)), nil
-							},
-							ContentLength: int64(len(body)),
-						}
-						resp, err := client.Do(req)
+						status, err := postRetryAfter(client, target, hdr, body)
 						if err != nil {
 							log.Fatalf("bench: %s: %v", sc.name, err)
 						}
-						io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						if resp.StatusCode != http.StatusOK {
-							log.Fatalf("bench: %s: status %d", sc.name, resp.StatusCode)
+						if status != http.StatusOK {
+							log.Fatalf("bench: %s: status %d", sc.name, status)
 						}
 						if record != nil {
 							record[i] = float64(time.Since(t0))

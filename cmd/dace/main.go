@@ -11,6 +11,7 @@
 //	dace encode   -decode -in plan.bin               (binary wire → JSON)
 //	dace tenants  -addr http://localhost:8080        (live multi-tenant state)
 //	dace tenants  -dir tenants                       (offline artifact dirs)
+//	dace loadtest -url http://localhost:8080/predict -schedule const:500 -duration 30s
 package main
 
 import (
@@ -57,13 +58,15 @@ func main() {
 		cmdEncode(os.Args[2:])
 	case "tenants":
 		cmdTenants(os.Args[2:])
+	case "loadtest":
+		cmdLoadtest(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain|encode|tenants} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dace {train|eval|finetune|predict|explain|encode|tenants|loadtest} [flags]")
 	os.Exit(2)
 }
 

@@ -87,6 +87,14 @@ type Model struct {
 	// resets to — keeps fit exactly as cheap as before: no timestamps, no
 	// loss aggregation, no allocations. Set it before Train/FineTuneLoRA.
 	Hooks nn.TrainHooks
+
+	// Throttle, when non-nil, is called after every optimizer step. A
+	// background fine-tune sharing CPUs with a serving path installs a
+	// pacer here so training yields between steps instead of monopolizing
+	// the scheduler until the next preemption point — the difference
+	// between a promotion costing a bounded latency bump and a cliff.
+	// Nil (the default) leaves fit untouched.
+	Throttle func()
 }
 
 // NewModel builds an untrained DACE with freshly initialized weights; the
@@ -254,18 +262,35 @@ func Train(plans []*plan.Plan, cfg Config) *Model {
 // are bitwise identical for any worker count and any goroutine schedule.
 func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 	encoded := make([]*featurize.Encoded, len(plans))
-	nn.ParallelFor(len(plans), m.Cfg.Workers, func(i int) {
-		encoded[i] = m.Enc.Encode(plans[i])
-	})
+	if m.Throttle != nil {
+		// A throttled fit is sharing CPUs with a serving path: the encode
+		// prologue must yield just like the step loop does, or it is a
+		// solid multi-hundred-millisecond burst before pacing even starts.
+		for i := range plans {
+			encoded[i] = m.Enc.Encode(plans[i])
+			m.Throttle()
+		}
+	} else {
+		nn.ParallelFor(len(plans), m.Cfg.Workers, func(i int) {
+			encoded[i] = m.Enc.Encode(plans[i])
+		})
+	}
 	// LoRA fine-tuning: the attention block is frozen, so its per-plan
 	// output is a fixed feature matrix — compute it once and train only the
 	// (adapter-augmented) head over it.
 	var cached []*nn.Matrix
 	if m.lora != nil {
 		cached = make([]*nn.Matrix, len(encoded))
-		nn.ParallelFor(len(encoded), m.Cfg.Workers, func(i int) {
-			cached[i] = m.attentionRaw(encoded[i])
-		})
+		if m.Throttle != nil {
+			for i := range encoded {
+				cached[i] = m.attentionRaw(encoded[i])
+				m.Throttle()
+			}
+		} else {
+			nn.ParallelFor(len(encoded), m.Cfg.Workers, func(i int) {
+				cached[i] = m.attentionRaw(encoded[i])
+			})
+		}
 	}
 	params := m.Params()
 	opt := nn.NewAdam(params, lr)
@@ -305,6 +330,9 @@ func (m *Model) fit(plans []*plan.Plan, lr float64, epochs int) {
 			}
 			nn.ClipGradNorm(params, 5)
 			opt.Step()
+			if m.Throttle != nil {
+				m.Throttle()
+			}
 		}
 		if hooks != nil {
 			dur := time.Since(epochStart)

@@ -78,6 +78,9 @@ func newGatewayMetrics(g *Gateway, reg *telemetry.Registry) *gatewayMetrics {
 		reg.GaugeFunc("dace_gateway_replica_inflight",
 			"In-flight upstream requests per replica.",
 			func() float64 { return float64(rep.inflight.Load()) }, label)
+		reg.GaugeFunc("dace_gateway_replica_inflight_hwm",
+			"Highest in-flight concurrency the replica has absorbed.",
+			func() float64 { return float64(rep.inflightHWM.Load()) }, label)
 	}
 	reg.GaugeFunc("dace_gateway_replicas_healthy",
 		"Number of replicas currently in the routing ring.",

@@ -26,6 +26,7 @@ type Replica struct {
 	// that is already saturated (the replica's own 503s pass through the
 	// same way).
 	inflight    atomic.Int64
+	inflightHWM atomic.Int64 // highest concurrency this replica has absorbed
 	maxInflight int64
 
 	requests  atomic.Uint64 // upstream round trips attempted
@@ -39,10 +40,19 @@ func (rep *Replica) Healthy() bool { return rep.healthy.Load() }
 
 // acquire claims an in-flight slot; callers must release on every path.
 func (rep *Replica) acquire() bool {
-	if rep.inflight.Add(1) > rep.maxInflight {
+	cur := rep.inflight.Add(1)
+	if cur > rep.maxInflight {
 		rep.inflight.Add(-1)
 		rep.rejected.Add(1)
 		return false
+	}
+	if cur > rep.inflightHWM.Load() {
+		for {
+			old := rep.inflightHWM.Load()
+			if cur <= old || rep.inflightHWM.CompareAndSwap(old, cur) {
+				break
+			}
+		}
 	}
 	return true
 }
@@ -51,13 +61,14 @@ func (rep *Replica) release() { rep.inflight.Add(-1) }
 
 // ReplicaHealth is one replica's entry in the gateway health report.
 type ReplicaHealth struct {
-	Name      string `json:"name"`
-	Healthy   bool   `json:"healthy"`
-	Inflight  int64  `json:"inflight"`
-	Requests  uint64 `json:"requests"`
-	Errors    uint64 `json:"errors"`
-	Rejected  uint64 `json:"rejected"`
-	Ejections uint64 `json:"ejections"`
+	Name        string `json:"name"`
+	Healthy     bool   `json:"healthy"`
+	Inflight    int64  `json:"inflight"`
+	InflightHWM int64  `json:"inflight_hwm"`
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	Rejected    uint64 `json:"rejected"`
+	Ejections   uint64 `json:"ejections"`
 }
 
 // Pool is the health-checked replica membership plus the current routing
@@ -253,13 +264,14 @@ func (p *Pool) health() []ReplicaHealth {
 	out := make([]ReplicaHealth, len(p.replicas))
 	for i, rep := range p.replicas {
 		out[i] = ReplicaHealth{
-			Name:      rep.Name,
-			Healthy:   rep.Healthy(),
-			Inflight:  rep.inflight.Load(),
-			Requests:  rep.requests.Load(),
-			Errors:    rep.errored.Load(),
-			Rejected:  rep.rejected.Load(),
-			Ejections: rep.ejections.Load(),
+			Name:        rep.Name,
+			Healthy:     rep.Healthy(),
+			Inflight:    rep.inflight.Load(),
+			InflightHWM: rep.inflightHWM.Load(),
+			Requests:    rep.requests.Load(),
+			Errors:      rep.errored.Load(),
+			Rejected:    rep.rejected.Load(),
+			Ejections:   rep.ejections.Load(),
 		}
 	}
 	return out

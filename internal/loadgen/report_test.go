@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dace/internal/telemetry"
+)
+
+// syntheticResult builds a Result whose histogram holds n samples at
+// latency sec.
+func syntheticResult(n int, sec float64) Result {
+	h := &telemetry.Histogram{}
+	for i := 0; i < n; i++ {
+		h.Observe(sec)
+	}
+	return Result{
+		Counts:      Counts{Offered: int64(n), Sent: int64(n), OK: int64(n)},
+		Elapsed:     time.Second,
+		OfferedQPS:  float64(n),
+		AchievedQPS: float64(n),
+		Hist:        h.Snapshot(),
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	runs := []Result{syntheticResult(100, 0.010), syntheticResult(100, 0.012)}
+	var sb strings.Builder
+	if err := WriteRunCSV(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "run,offered,sent,ok,") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,100,100,100,") {
+		t.Errorf("row 0: %s", lines[1])
+	}
+}
+
+func TestSoakCSVAndMarkdown(t *testing.T) {
+	res := SoakResult{
+		Run:     syntheticResult(500, 0.005),
+		Windows: fabricate(6, 5.0, 32<<20),
+		Gates: []GateResult{
+			{Name: "p99_ratio", Value: 1.2, Limit: 2, Passed: true, Detail: "ok"},
+			{Name: "heap_slope", Value: 10, Limit: 131072, Passed: true, Detail: "ok"},
+		},
+		WarmupCut: 2,
+		Passed:    true,
+	}
+	res.Windows[3].Event = "promotion"
+
+	var csv strings.Builder
+	if err := WriteSoakCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 7 {
+		t.Errorf("soak CSV lines = %d, want 7 (header + 6 windows)", got)
+	}
+	if !strings.Contains(csv.String(), `"promotion"`) {
+		t.Error("soak CSV missing event annotation")
+	}
+
+	var md strings.Builder
+	if err := WriteSoakMarkdown(&md, "drift-soak", res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"drift-soak — PASS", "| p99_ratio | 1.20 |", "w003: promotion", "(warmup)"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("soak Markdown missing %q:\n%s", want, md.String())
+		}
+	}
+}
+
+func TestBaselineRoundTripAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := []Result{
+		syntheticResult(200, 0.010), syntheticResult(200, 0.0101),
+		syntheticResult(200, 0.0099), syntheticResult(200, 0.0102), syntheticResult(200, 0.0098),
+	}
+	if err := SaveBaseline(path, "direct-serve", "const:200", base, "2026-08-09"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "direct-serve" || len(loaded.Metrics["p99_ms"]) != 5 {
+		t.Fatalf("loaded baseline: %+v", loaded)
+	}
+
+	// A clean 3x latency regression must be flagged on the latency metrics.
+	regressed := []Result{
+		syntheticResult(200, 0.030), syntheticResult(200, 0.0301),
+		syntheticResult(200, 0.0299), syntheticResult(200, 0.0302), syntheticResult(200, 0.0298),
+	}
+	comps := CompareRuns(regressed, loaded, 0.05)
+	if len(comps) == 0 {
+		t.Fatal("no comparisons produced")
+	}
+	var p99Flagged bool
+	for _, c := range comps {
+		if c.Metric == "p99_ms" {
+			p99Flagged = c.Significant && c.DeltaPct > 100
+		}
+	}
+	if !p99Flagged {
+		t.Errorf("3x P99 regression not flagged: %+v", comps)
+	}
+
+	var md strings.Builder
+	if err := WriteRunMarkdown(&md, "direct-serve", "const:200", regressed, comps); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Load report: direct-serve", "Versus baseline", "| p99_ms |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("run Markdown missing %q", want)
+		}
+	}
+}
+
+func TestZipfTenants(t *testing.T) {
+	tenants := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	gen := ZipfTenants(tenants, oneRequest)
+	counts := map[string]int{}
+	for i := int64(0); i < 4000; i++ {
+		counts[gen(i).Tenant]++
+	}
+	if len(counts) != len(tenants) {
+		t.Fatalf("only %d of %d tenants hit", len(counts), len(tenants))
+	}
+	// Zipf skew: rank 0 clearly hotter than rank 7.
+	if counts["t0"] <= 2*counts["t7"] {
+		t.Errorf("no skew: t0=%d t7=%d", counts["t0"], counts["t7"])
+	}
+	// Deterministic in i.
+	if gen(42).Tenant != gen(42).Tenant {
+		t.Error("ZipfTenants not deterministic")
+	}
+}

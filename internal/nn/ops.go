@@ -75,8 +75,12 @@ func (t *Tape) Add(a, b *Node) *Node {
 }
 
 func backAdd(t *Tape, n *Node) {
-	AddInPlace(n.a.Grad, n.Grad)
-	AddInPlace(n.b.Grad, n.Grad)
+	if n.a.NeedsGrad {
+		AddInPlace(n.a.Grad, n.Grad)
+	}
+	if n.b.NeedsGrad {
+		AddInPlace(n.b.Grad, n.Grad)
+	}
 }
 
 // Sub records c = a − b for same-shape operands.
@@ -93,9 +97,13 @@ func (t *Tape) Sub(a, b *Node) *Node {
 }
 
 func backSub(t *Tape, n *Node) {
-	AddInPlace(n.a.Grad, n.Grad)
-	for i, g := range n.Grad.Data {
-		n.b.Grad.Data[i] -= g
+	if n.a.NeedsGrad {
+		AddInPlace(n.a.Grad, n.Grad)
+	}
+	if n.b.NeedsGrad {
+		for i, g := range n.Grad.Data {
+			n.b.Grad.Data[i] -= g
+		}
 	}
 }
 
@@ -116,11 +124,15 @@ func (t *Tape) AddRow(a, row *Node) *Node {
 }
 
 func backAddRow(t *Tape, n *Node) {
-	AddInPlace(n.a.Grad, n.Grad)
-	g := n.Grad
-	for i := 0; i < g.Rows; i++ {
-		for j := 0; j < g.Cols; j++ {
-			n.b.Grad.Data[j] += g.Data[i*g.Cols+j]
+	if n.a.NeedsGrad {
+		AddInPlace(n.a.Grad, n.Grad)
+	}
+	if n.b.NeedsGrad {
+		g := n.Grad
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				n.b.Grad.Data[j] += g.Data[i*g.Cols+j]
+			}
 		}
 	}
 }
@@ -139,9 +151,15 @@ func (t *Tape) Mul(a, b *Node) *Node {
 }
 
 func backMul(t *Tape, n *Node) {
-	for i, g := range n.Grad.Data {
-		n.a.Grad.Data[i] += g * n.b.Value.Data[i]
-		n.b.Grad.Data[i] += g * n.a.Value.Data[i]
+	if n.a.NeedsGrad {
+		for i, g := range n.Grad.Data {
+			n.a.Grad.Data[i] += g * n.b.Value.Data[i]
+		}
+	}
+	if n.b.NeedsGrad {
+		for i, g := range n.Grad.Data {
+			n.b.Grad.Data[i] += g * n.a.Value.Data[i]
+		}
 	}
 }
 
@@ -154,6 +172,9 @@ func (t *Tape) Scale(a *Node, k float64) *Node {
 }
 
 func backScale(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		n.a.Grad.Data[i] += g * n.k
 	}
@@ -171,6 +192,9 @@ func (t *Tape) ReLU(a *Node) *Node {
 }
 
 func backReLU(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		if n.a.Value.Data[i] > 0 {
 			n.a.Grad.Data[i] += g
@@ -191,6 +215,9 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 }
 
 func backLeakyReLU(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		if n.a.Value.Data[i] > 0 {
 			n.a.Grad.Data[i] += g
@@ -210,6 +237,9 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 }
 
 func backSigmoid(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		s := n.Value.Data[i]
 		n.a.Grad.Data[i] += g * s * (1 - s)
@@ -226,6 +256,9 @@ func (t *Tape) Tanh(a *Node) *Node {
 }
 
 func backTanh(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		y := n.Value.Data[i]
 		n.a.Grad.Data[i] += g * (1 - y*y)
@@ -242,6 +275,9 @@ func (t *Tape) Abs(a *Node) *Node {
 }
 
 func backAbs(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		switch x := n.a.Value.Data[i]; {
 		case x > 0:
@@ -262,6 +298,9 @@ func (t *Tape) Square(a *Node) *Node {
 }
 
 func backSquare(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		n.a.Grad.Data[i] += 2 * g * n.a.Value.Data[i]
 	}
@@ -280,6 +319,9 @@ func (t *Tape) Sum(a *Node) *Node {
 }
 
 func backSum(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	g := n.Grad.Data[0]
 	for i := range n.a.Grad.Data {
 		n.a.Grad.Data[i] += g
@@ -309,6 +351,9 @@ func (t *Tape) MeanRows(a *Node) *Node {
 
 func backMeanRows(t *Tape, n *Node) {
 	a := n.a
+	if !a.NeedsGrad {
+		return
+	}
 	for i := 0; i < a.Value.Rows; i++ {
 		for j := 0; j < a.Value.Cols; j++ {
 			a.Grad.Data[i*a.Value.Cols+j] += n.Grad.Data[j] * n.k
@@ -346,9 +391,11 @@ func backConcatCols(t *Tape, n *Node) {
 	rows, total := n.Value.Rows, n.Value.Cols
 	off := 0
 	for _, p := range n.parts {
-		for i := 0; i < rows; i++ {
-			for j := 0; j < p.Value.Cols; j++ {
-				p.Grad.Data[i*p.Value.Cols+j] += n.Grad.Data[i*total+off+j]
+		if p.NeedsGrad {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < p.Value.Cols; j++ {
+					p.Grad.Data[i*p.Value.Cols+j] += n.Grad.Data[i*total+off+j]
+				}
 			}
 		}
 		off += p.Value.Cols
@@ -382,8 +429,10 @@ func backConcatRows(t *Tape, n *Node) {
 	cols := n.Value.Cols
 	off := 0
 	for _, p := range n.parts {
-		for i := range p.Grad.Data {
-			p.Grad.Data[i] += n.Grad.Data[off*cols+i]
+		if p.NeedsGrad {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] += n.Grad.Data[off*cols+i]
+			}
 		}
 		off += p.Value.Rows
 	}
@@ -402,6 +451,9 @@ func (t *Tape) SelectRows(a *Node, idx []int) *Node {
 }
 
 func backSelectRows(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	cols := n.Value.Cols
 	for i, r := range n.idx {
 		for j := 0; j < cols; j++ {
@@ -449,6 +501,9 @@ func (t *Tape) SoftmaxRowsMasked(a *Node, mask *Matrix) *Node {
 }
 
 func backSoftmaxRowsMasked(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	// Row-wise softmax adjoint: da = s ⊙ (dg − ⟨dg, s⟩).
 	rows, cols := n.Value.Rows, n.Value.Cols
 	for i := 0; i < rows; i++ {
@@ -475,7 +530,9 @@ func (t *Tape) AddConst(a *Node, k *Matrix) *Node {
 }
 
 func backAddConst(t *Tape, n *Node) {
-	AddInPlace(n.a.Grad, n.Grad)
+	if n.a.NeedsGrad {
+		AddInPlace(n.a.Grad, n.Grad)
+	}
 }
 
 // MulConst records the element-wise product with a constant matrix (no
@@ -493,6 +550,9 @@ func (t *Tape) MulConst(a *Node, k *Matrix) *Node {
 }
 
 func backMulConst(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	for i, g := range n.Grad.Data {
 		n.a.Grad.Data[i] += g * n.cm.Data[i]
 	}
@@ -514,6 +574,9 @@ func (t *Tape) ScaleConst(s *Node, k *Matrix) *Node {
 }
 
 func backScaleConst(t *Tape, n *Node) {
+	if !n.a.NeedsGrad {
+		return
+	}
 	var g float64
 	for i, gv := range n.Grad.Data {
 		g += gv * n.cm.Data[i]
@@ -566,12 +629,19 @@ func backLayerNorm(t *Tape, n *Node) {
 		var sumG, sumGX float64
 		for j := 0; j < cols; j++ {
 			g := n.Grad.Data[i*cols+j]
-			gain.Grad.Data[j] += g * norm.Data[i*cols+j]
-			bias.Grad.Data[j] += g
+			if gain.NeedsGrad {
+				gain.Grad.Data[j] += g * norm.Data[i*cols+j]
+			}
+			if bias.NeedsGrad {
+				bias.Grad.Data[j] += g
+			}
 			dn := g * gain.Value.Data[j]
 			dx[j] = dn
 			sumG += dn
 			sumGX += dn * norm.Data[i*cols+j]
+		}
+		if !a.NeedsGrad {
+			continue
 		}
 		nc := float64(cols)
 		for j := 0; j < cols; j++ {

@@ -101,6 +101,14 @@ func (g *GradPool) grow(n int) {
 	for len(g.shards) < n {
 		bufs := make([]*Matrix, len(g.params))
 		for i, p := range g.params {
+			// Frozen leaves get NeedsGrad=false on the tape, so backward
+			// never accumulates into them — a shard buffer per item for
+			// the frozen base of a LoRA fine-tune is the dominant memory
+			// cost of training for nothing. Leaf falls back to p.Grad on
+			// the nil, which stays untouched for the same reason.
+			if p.Frozen {
+				continue
+			}
 			bufs[i] = NewMatrix(p.Value.Rows, p.Value.Cols)
 		}
 		g.shards = append(g.shards, bufs)
@@ -148,7 +156,9 @@ func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) float64 
 		}
 		bufs := g.shards[i]
 		for _, b := range bufs {
-			b.Zero()
+			if b != nil {
+				b.Zero()
+			}
 		}
 		t := g.tapes[i]
 		t.Reset()
@@ -164,7 +174,9 @@ func (g *GradPool) Accumulate(n int, lossFn func(t *Tape, i int) *Node) float64 
 	// which worker computed what when.
 	for pi, p := range g.params {
 		for s := 0; s < n; s++ {
-			AddInPlace(p.Grad, g.shards[s][pi])
+			if b := g.shards[s][pi]; b != nil {
+				AddInPlace(p.Grad, b)
+			}
 		}
 	}
 	total := 0.0

@@ -38,6 +38,7 @@ type batcher struct {
 	batches  atomic.Uint64
 	requests atomic.Uint64
 	rejected atomic.Uint64
+	depthHWM atomic.Int64 // deepest the queue has ever been
 
 	// Telemetry histograms, wired by newServerMetrics between newBatcher and
 	// start — never written once the loop goroutine is running. Nil when
@@ -101,6 +102,16 @@ func (b *batcher) submit(p *plan.Plan, m *core.Model) ([]float64, error) {
 	select {
 	case b.queue <- r:
 		b.mu.RUnlock()
+		// High-watermark of queue depth: how close serving has come to
+		// spilling 503s, visible on /healthz even if the spill never happens.
+		if d := int64(len(b.queue)); d > b.depthHWM.Load() {
+			for {
+				old := b.depthHWM.Load()
+				if d <= old || b.depthHWM.CompareAndSwap(old, d) {
+					break
+				}
+			}
+		}
 	default:
 		b.mu.RUnlock()
 		b.rejected.Add(1)
@@ -274,6 +285,7 @@ func (b *batcher) observeBatch(n int) {
 func (b *batcher) stats() QueueStats {
 	return QueueStats{
 		Depth:    len(b.queue),
+		DepthHWM: b.depthHWM.Load(),
 		Capacity: cap(b.queue),
 		MaxBatch: b.maxBatch,
 		Batches:  b.batches.Load(),

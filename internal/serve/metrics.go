@@ -119,10 +119,16 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 				gauge(func(st servecache.Stats) float64 { return float64(st.Capacity) }), lbl)
 		}
 	}
+	reg.GaugeFunc("dace_inflight_requests", "Prediction requests being served right now.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("dace_inflight_requests_hwm", "Highest prediction-request concurrency absorbed.",
+		func() float64 { return float64(s.inflightHWM.Load()) })
 	if s.bat != nil {
 		b := s.bat
 		reg.GaugeFunc("dace_batch_queue_depth", "Requests queued for the micro-batcher right now.",
 			func() float64 { return float64(len(b.queue)) })
+		reg.GaugeFunc("dace_batch_queue_depth_hwm", "Deepest the micro-batcher queue has ever been.",
+			func() float64 { return float64(b.depthHWM.Load()) })
 		reg.GaugeFunc("dace_batch_queue_capacity", "Micro-batcher queue bound (QueueDepth).",
 			func() float64 { return float64(cap(b.queue)) })
 		reg.CounterFunc("dace_batches_total", "Model batch calls executed by the micro-batcher.",

@@ -134,6 +134,12 @@ type Server struct {
 	draining atomic.Bool
 	version  atomic.Int64 // served model artifact version (0 = unversioned seed)
 
+	// In-flight prediction requests (both /predict endpoints), with a
+	// high-watermark: the concurrency the replica has actually absorbed,
+	// for capacity planning against the load generator's offered rates.
+	inflight    atomic.Int64
+	inflightHWM atomic.Int64
+
 	cfg    Config
 	preds  *servecache.Cache[[]float64] // plan fingerprint → DFS predictions
 	bodies *servecache.Cache[[]byte]    // request bytes → response bytes
@@ -342,6 +348,26 @@ func (s *Server) infer(p *plan.Plan, tc tenantCtx) ([]float64, error) {
 	return tc.modelOr(s).PredictSubPlans(p), nil
 }
 
+// trackInflight bumps the in-flight gauge (and its high-watermark) and
+// returns the matching decrement for the caller to defer.
+func (s *Server) trackInflight() func() {
+	if cur := s.inflight.Add(1); cur > s.inflightHWM.Load() {
+		for {
+			old := s.inflightHWM.Load()
+			if cur <= old || s.inflightHWM.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+	}
+	return func() { s.inflight.Add(-1) }
+}
+
+// Inflight reports the prediction requests being served right now and the
+// highest that gauge has ever reached.
+func (s *Server) Inflight() (now, hwm int64) {
+	return s.inflight.Load(), s.inflightHWM.Load()
+}
+
 // docScratch holds the reusable per-request response-assembly buffers.
 type docScratch struct {
 	nodes   []*plan.Node
@@ -354,6 +380,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
+	defer s.trackInflight()()
 	query := r.URL.RawQuery
 	format := queryParam(query, "format")
 	if format != "" && format != "plan" && format != "pg" {
@@ -425,6 +452,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if !allowOnly(w, r, http.MethodPost) {
 		return
 	}
+	defer s.trackInflight()()
 	query := r.URL.RawQuery
 	format := queryParam(query, "format")
 	if format != "" && format != "plan" && format != "pg" {
@@ -565,16 +593,20 @@ func (s *Server) batchPreds(plans []*plan.Plan, keys []servecache.Key, m *core.M
 // Health is the /healthz response. PlanCache/BodyCache/Queue are present
 // only when the corresponding pipeline stage is enabled.
 type Health struct {
-	Status       string            `json:"status"`
-	Ready        bool              `json:"ready"`
-	ModelVersion int               `json:"model_version"`
-	Build        version.Info      `json:"build"`
-	Parameters   int               `json:"parameters"`
-	SizeMB       float64           `json:"size_mb"`
-	LoRAEnabled  bool              `json:"lora_enabled"`
-	PlanCache    *servecache.Stats `json:"plan_cache,omitempty"`
-	BodyCache    *servecache.Stats `json:"body_cache,omitempty"`
-	Queue        *QueueStats       `json:"queue,omitempty"`
+	Status       string       `json:"status"`
+	Ready        bool         `json:"ready"`
+	ModelVersion int          `json:"model_version"`
+	Build        version.Info `json:"build"`
+	Parameters   int          `json:"parameters"`
+	SizeMB       float64      `json:"size_mb"`
+	LoRAEnabled  bool         `json:"lora_enabled"`
+	// Inflight is the prediction-request gauge (both /predict endpoints)
+	// and InflightHWM the highest concurrency this replica has absorbed.
+	Inflight    int64             `json:"inflight"`
+	InflightHWM int64             `json:"inflight_hwm"`
+	PlanCache   *servecache.Stats `json:"plan_cache,omitempty"`
+	BodyCache   *servecache.Stats `json:"body_cache,omitempty"`
+	Queue       *QueueStats       `json:"queue,omitempty"`
 	// Tenant state (present only in multi-tenant mode): how many tenants
 	// are registered and which adapter artifact version each one serves —
 	// so an operator can confirm a promotion landed without scraping
@@ -585,8 +617,9 @@ type Health struct {
 
 // QueueStats snapshots the micro-batcher.
 type QueueStats struct {
-	Depth    int    `json:"depth"`    // requests queued right now
-	Capacity int    `json:"capacity"` // queue bound (QueueDepth)
+	Depth    int    `json:"depth"`     // requests queued right now
+	DepthHWM int64  `json:"depth_hwm"` // deepest the queue has ever been
+	Capacity int    `json:"capacity"`  // queue bound (QueueDepth)
 	MaxBatch int    `json:"max_batch"`
 	Batches  uint64 `json:"batches"`          // model batch calls executed
 	Requests uint64 `json:"batched_requests"` // requests served through them
@@ -609,6 +642,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.SizeMB = nn.SizeMB(m.Params())
 		h.LoRAEnabled = m.LoRAEnabled()
 	}
+	h.Inflight, h.InflightHWM = s.Inflight()
 	if s.preds != nil {
 		pc, bc := s.preds.Stats(), s.bodies.Stats()
 		h.PlanCache, h.BodyCache = &pc, &bc

@@ -137,6 +137,38 @@ func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
 	s.Sum += o.Sum
 }
 
+// Sub subtracts an earlier snapshot of the same histogram from s, leaving
+// the observations made between the two snapshot instants. This is how a
+// windowed view (per-second P99 during a soak run) is extracted from one
+// continuously-observed histogram without ever pausing or resetting it:
+// snapshot at each window edge and subtract the previous edge. Counts that
+// would underflow (o not actually earlier, or from a different histogram)
+// clamp to zero.
+func (s *HistogramSnapshot) Sub(o *HistogramSnapshot) {
+	for b := range s.Counts {
+		if s.Counts[b] >= o.Counts[b] {
+			s.Counts[b] -= o.Counts[b]
+		} else {
+			s.Counts[b] = 0
+		}
+	}
+	if s.Count >= o.Count {
+		s.Count -= o.Count
+	} else {
+		s.Count = 0
+	}
+	s.Sum -= o.Sum
+}
+
+// Mean returns the mean of the summed observations (NaN/±Inf excluded from
+// the sum at Observe time). An empty snapshot returns 0.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
 // Quantile extracts the q-quantile (0 ≤ q ≤ 1) as the geometric midpoint of
 // the bucket holding that rank: P50/P90/P99 with the layout's ±9% relative
 // error. An empty snapshot returns 0; ranks in the underflow bucket return

@@ -223,3 +223,38 @@ func BenchmarkObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestSnapshotSub checks the windowed-view contract: subtracting an earlier
+// snapshot leaves exactly the observations made between the two instants.
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	first := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(1.0)
+	}
+	window := h.Snapshot()
+	window.Sub(&first)
+	if window.Count != 50 {
+		t.Fatalf("window count %d, want 50", window.Count)
+	}
+	if got := window.Quantile(0.5); math.Abs(got-1.0) > 0.15 {
+		t.Fatalf("window median %g, want ~1.0 (the earlier 1ms observations must be gone)", got)
+	}
+	if m := window.Mean(); math.Abs(m-1.0) > 1e-9 {
+		t.Fatalf("window mean %g, want 1.0", m)
+	}
+	// Subtracting a later snapshot from an earlier one clamps, not wraps.
+	later := h.Snapshot()
+	first.Sub(&later)
+	if first.Count != 0 {
+		t.Fatalf("clamped count %d, want 0", first.Count)
+	}
+	for b, n := range first.Counts {
+		if n != 0 {
+			t.Fatalf("clamped bucket %d holds %d", b, n)
+		}
+	}
+}
